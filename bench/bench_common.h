@@ -1,0 +1,71 @@
+#ifndef SEEDEX_BENCH_COMMON_H
+#define SEEDEX_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "aligner/pipeline.h"
+#include "genome/read_sim.h"
+#include "genome/reference.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace seedex::bench {
+
+/** A reproducible benchmark workload: reference, reads, and the exact
+ *  extension jobs the aligner issues for them. */
+struct Workload
+{
+    Sequence reference;
+    std::vector<SimulatedRead> reads;
+    /** Extension jobs captured from a full-band pipeline pass. */
+    std::vector<ExtensionJob> jobs;
+};
+
+/** Build the standard workload (human-like read statistics, §VI:
+ *  Illumina-like 101 bp reads including the 3' quality tail). */
+inline Workload
+buildWorkload(size_t ref_len, size_t n_reads, uint64_t seed = 20200613,
+              ReadSimParams sim_params = ReadSimParams::illumina())
+{
+    Workload w;
+    Rng rng(seed);
+    ReferenceParams ref_params;
+    ref_params.length = ref_len;
+    w.reference = generateReference(ref_params, rng);
+
+    ReadSimulator simulator(w.reference, sim_params);
+    PipelineConfig config; // full-band engine
+    Aligner aligner(w.reference, config);
+    for (size_t i = 0; i < n_reads; ++i) {
+        SimulatedRead read = simulator.simulate(rng, i);
+        aligner.alignRead(read.name, read.seq, nullptr, &w.jobs);
+        w.reads.push_back(std::move(read));
+    }
+    return w;
+}
+
+/** Scale knob: pass --quick to any bench for a fast smoke run. */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quick")
+            return true;
+    }
+    return std::getenv("SEEDEX_BENCH_QUICK") != nullptr;
+}
+
+/** Standard exhibit banner. */
+inline void
+banner(const std::string &exhibit, const std::string &claim)
+{
+    std::cout << "==== " << exhibit << " ====\n"
+              << "paper: " << claim << "\n\n";
+}
+
+} // namespace seedex::bench
+
+#endif // SEEDEX_BENCH_COMMON_H

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * §VII-D extension experiments: the SeedEx speculation-and-test scheme
+ * applied beyond genomics (no paper figure exists for these; the paper
+ * proposes them as applications, and these benches quantify them on our
+ * substrate):
+ *   (a) Dynamic Time Warping with a Sakoe-Chiba window,
+ *   (b) banded Longest Common Subsequence,
+ *   (c) long-read seed-and-chain-then-fill with checked global fills.
+ */
+#include "bench_common.h"
+
+#include "aligner/longread.h"
+#include "apps/dtw.h"
+#include "apps/lcs.h"
+
+using namespace seedex;
+using namespace seedex::bench;
+
+namespace {
+
+void
+dtwReport(bool quick)
+{
+    std::cout << "(a) DTW with optimality check (trending telemetry "
+                 "series):\n";
+    Rng rng(20260704);
+    const size_t len = quick ? 150 : 400;
+    const int trials = quick ? 30 : 100;
+    TextTable table;
+    table.setHeader({"window", "guaranteed", "cells vs full"});
+    for (int window : {5, 10, 20, 40}) {
+        int guaranteed = 0;
+        uint64_t cells = 0, full_cells = 0;
+        for (int it = 0; it < trials; ++it) {
+            std::vector<double> a(len), b(len);
+            for (size_t i = 0; i < len; ++i) {
+                a[i] = 0.2 * static_cast<double>(i) +
+                       (rng.uniform() - 0.5) * 0.1;
+                b[i] = a[i] + (rng.uniform() - 0.5) * 0.1;
+            }
+            // Occasionally insert a local stall (time warp).
+            if (rng.coin(0.3)) {
+                const size_t at = rng.pick(len - 10);
+                for (int k = 0; k < 6; ++k)
+                    b.insert(b.begin() + at, b[at]);
+                b.resize(len);
+            }
+            const DtwCheckedResult r = dtwChecked(a, b, window);
+            guaranteed += r.guaranteed;
+            cells += r.result.cells;
+            full_cells += static_cast<uint64_t>(len) * len;
+        }
+        table.addRow({strprintf("%d", window),
+                      strprintf("%5.1f%%", 100.0 * guaranteed / trials),
+                      strprintf("%5.1f%%",
+                                100.0 * static_cast<double>(cells) /
+                                    static_cast<double>(full_cells))});
+    }
+    std::cout << table.render() << '\n';
+}
+
+void
+lcsReport(bool quick)
+{
+    std::cout << "(b) banded LCS with optimality check (similar "
+                 "strings):\n";
+    Rng rng(20260705);
+    const size_t len = quick ? 300 : 800;
+    const int trials = quick ? 30 : 100;
+    const char alpha[] = "ACGT";
+    TextTable table;
+    table.setHeader({"band", "guaranteed", "cells vs full"});
+    for (int band : {4, 8, 16, 32}) {
+        int guaranteed = 0;
+        uint64_t cells = 0, full_cells = 0;
+        for (int it = 0; it < trials; ++it) {
+            std::string a;
+            for (size_t k = 0; k < len; ++k)
+                a.push_back(alpha[rng.pick(4)]);
+            std::string b = a;
+            for (int m = 0; m < 8; ++m) {
+                const size_t p = rng.pick(b.size());
+                if (rng.coin(0.6))
+                    b[p] = alpha[rng.pick(4)];
+                else
+                    b.erase(p, 1);
+            }
+            const LcsCheckedResult r = lcsChecked(a, b, band);
+            guaranteed += r.guaranteed;
+            cells += r.result.cells;
+            full_cells += static_cast<uint64_t>(a.size()) * b.size();
+        }
+        table.addRow({strprintf("%d", band),
+                      strprintf("%5.1f%%", 100.0 * guaranteed / trials),
+                      strprintf("%5.1f%%",
+                                100.0 * static_cast<double>(cells) /
+                                    static_cast<double>(full_cells))});
+    }
+    std::cout << table.render() << '\n';
+}
+
+void
+longReadReport(bool quick)
+{
+    std::cout << "(c) long-read fills (minimap2-style seed-chain-fill; "
+                 "the paper: the fill step is 16-33% of minimap2 "
+                 "time):\n";
+    Rng rng(20260706);
+    ReferenceParams rp;
+    rp.length = quick ? 200000 : 500000;
+    const Sequence ref = generateReference(rp, rng);
+    const FmdIndex index(ref);
+    ReadSimParams sp;
+    sp.read_length = quick ? 2000 : 5000;
+    sp.base_error_rate = 0.01;
+    sp.small_indel_rate = 0.004;
+    sp.small_indel_ext = 0.4;
+    sp.long_indel_read_fraction = 0.3;
+    ReadSimulator sim(ref, sp);
+
+    TextTable table;
+    table.setHeader({"fill band", "fills", "guaranteed", "reruns",
+                     "cells saved"});
+    for (int band : {8, 16, 32}) {
+        LongReadConfig cfg;
+        cfg.fill.band = band;
+        FillStats stats;
+        const int reads = quick ? 10 : 30;
+        for (int i = 0; i < reads; ++i) {
+            const SimulatedRead read = sim.simulate(rng, i);
+            alignLongRead(index, ref, read.seq, cfg, &stats);
+        }
+        table.addRow(
+            {strprintf("%d", band),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(stats.fills)),
+             strprintf("%5.1f%%",
+                       100.0 * static_cast<double>(stats.guaranteed) /
+                           static_cast<double>(stats.fills)),
+             strprintf("%5.1f%%",
+                       100.0 * static_cast<double>(stats.reruns) /
+                           static_cast<double>(stats.fills)),
+             strprintf("%5.1f%%", 100.0 * stats.cellsSavedFraction())});
+    }
+    std::cout << table.render();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    banner("Extensions (SS VII-D): DTW, LCS, long reads",
+           "the SeedEx scheme applies to banded DP beyond genomics");
+    dtwReport(quick);
+    lcsReport(quick);
+    longReadReport(quick);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 4 reproduction: accelerator hardware resources vs band. The BSW
+ * systolic core's LUTs grow linearly with the band (one PE per band
+ * column), which is exactly the area a narrow-band design recovers.
+ */
+#include "bench_common.h"
+
+#include "hw/area_model.h"
+
+using namespace seedex;
+using namespace seedex::bench;
+
+int
+main(int argc, char **argv)
+{
+    (void)argc;
+    (void)argv;
+    banner("Figure 4: band vs accelerator resources",
+           "BSW core LUTs scale linearly with the band");
+
+    const AreaModel model;
+    const FpgaDevice device = FpgaDevice::vu9p();
+
+    TextTable table;
+    table.setHeader({"band", "BSW core LUTs", "% of VU9P",
+                     "norm (w=101)"});
+    const double full = static_cast<double>(model.bswCoreLuts(101));
+    for (int w : {5, 10, 20, 30, 41, 60, 80, 101}) {
+        const uint64_t luts = model.bswCoreLuts(w);
+        table.addRow({strprintf("%d", w),
+                      strprintf("%llu",
+                                static_cast<unsigned long long>(luts)),
+                      strprintf("%.2f%%", 100.0 * static_cast<double>(luts) /
+                                              static_cast<double>(device.luts)),
+                      strprintf("%.3f",
+                                static_cast<double>(luts) / full)});
+    }
+    std::cout << table.render();
+
+    std::cout << strprintf(
+        "\n[claim] linearity: A(80)-A(41) vs A(41)-A(5): slope ratio "
+        "%.3f (1.0 = perfectly linear)\n",
+        (static_cast<double>(model.bswCoreLuts(80)) -
+         static_cast<double>(model.bswCoreLuts(41))) /
+            (80.0 - 41.0) /
+            ((static_cast<double>(model.bswCoreLuts(41)) -
+              static_cast<double>(model.bswCoreLuts(5))) /
+             (41.0 - 5.0)));
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fig. 16 reproduction:
+ *  (a) full-band core vs SeedEx core LUTs (paper: 2.3x; edit-machine
+ *      overhead 5.53 % of a narrow-band machine),
+ *  (b) edit-core optimization ladder (1.82x / 3.11x / 6.06x),
+ *  (c) extension throughput (paper: 43.9 M ext/s deployed, 6.0x iso-area
+ *      over the full-band accelerator; 1.9x latency advantage; 4.4x from
+ *      latency x area alone).
+ */
+#include "bench_common.h"
+
+#include "hw/area_model.h"
+#include "hw/throughput_model.h"
+
+using namespace seedex;
+using namespace seedex::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    banner("Figure 16: area and throughput comparison",
+           "2.3x core area, 1.82/3.11/6.06x edit ladder, 6.0x iso-area "
+           "throughput, 43.9 M ext/s");
+
+    const AreaModel areas;
+
+    // ---- (a) core area.
+    const uint64_t full_core = areas.fullBandCoreLuts(101);
+    const uint64_t seedex_core = areas.seedexCoreLuts(41);
+    std::cout << strprintf(
+        "(a) full-band core %llu LUTs vs SeedEx core %llu LUTs: %.2fx "
+        "(paper 2.3x)\n",
+        static_cast<unsigned long long>(full_core),
+        static_cast<unsigned long long>(seedex_core),
+        static_cast<double>(full_core) /
+            static_cast<double>(seedex_core));
+    std::cout << strprintf(
+        "    check-logic overhead: edit core / 3 BSW cores = %.2f%% "
+        "(paper 5.53%%)\n\n",
+        100.0 * static_cast<double>(areas.editCoreLuts(41)) /
+            static_cast<double>(3 * areas.bswCoreLuts(41)));
+
+    // ---- (b) edit ladder.
+    TextTable ladder;
+    ladder.setHeader({"configuration", "LUTs", "reduction vs BSW"});
+    const double bsw = static_cast<double>(areas.bswCoreLuts(41));
+    auto ladder_row = [&](const char *label, EditCoreOptions opt) {
+        const uint64_t luts = areas.editCoreLuts(41, opt);
+        ladder.addRow({label,
+                       strprintf("%llu",
+                                 static_cast<unsigned long long>(luts)),
+                       strprintf("%.2fx",
+                                 bsw / static_cast<double>(luts))});
+    };
+    ladder.addRow({"BSW core (w=41)",
+                   strprintf("%llu",
+                             static_cast<unsigned long long>(
+                                 areas.bswCoreLuts(41))),
+                   "1.00x"});
+    ladder_row("+ reduced edit scoring", {true, false, false});
+    ladder_row("+ 3-bit delta encoding", {true, true, false});
+    ladder_row("+ half-width PE array", {true, true, true});
+    std::cout << "(b) edit-core optimization ladder (paper 1.82 / 3.11 / "
+                 "6.06):\n"
+              << ladder.render() << '\n';
+
+    // ---- (c) throughput on a measured workload.
+    const Workload w = buildWorkload(quick ? 150000 : 400000,
+                                     quick ? 200 : 800, 1616);
+    const WorkloadProfile profile =
+        WorkloadProfile::measure(w.jobs, 41, Scoring::bwaDefault());
+    const ThroughputModel model;
+    const ThroughputReport seedex =
+        model.evaluate(AcceleratorConfig::seedexDeployed(), profile);
+    const ThroughputReport full =
+        model.evaluate(AcceleratorConfig::fullBandBaseline(), profile);
+
+    TextTable tput;
+    tput.setHeader({"config", "cycles/ext", "latency us", "M ext/s",
+                    "ext/s/MLUT"});
+    auto tput_row = [&](const char *label, const ThroughputReport &r) {
+        tput.addRow({label, strprintf("%.0f", r.cycles_per_extension),
+                     strprintf("%.2f", r.latency_us),
+                     strprintf("%.1f", r.extensions_per_sec / 1e6),
+                     strprintf("%.2fM", r.ext_per_sec_per_mlut / 1e6)});
+    };
+    tput_row("SeedEx (36 x w=41)", seedex);
+    tput_row("full band (9 x w=101)", full);
+    std::cout << "(c) throughput (workload: "
+              << profile.jobs << " extensions, avg qlen "
+              << strprintf("%.1f", profile.avg_query_len) << "):\n"
+              << tput.render();
+
+    std::cout << strprintf(
+        "\n[claim] deployed throughput %.1f M ext/s (paper 43.9 M)\n",
+        seedex.extensions_per_sec / 1e6);
+    std::cout << strprintf(
+        "[claim] deployed speedup %.1fx (paper 6.0x; includes the "
+        "routability gap)\n",
+        seedex.extensions_per_sec / full.extensions_per_sec);
+    std::cout << strprintf(
+        "[claim] iso-area (LUT) speedup %.1fx (paper decomposition: "
+        "4.4x from latency x area)\n",
+        model.isoAreaSpeedup(seedex, full));
+    std::cout << strprintf("[claim] latency advantage %.2fx (paper 1.9x)\n",
+                           full.latency_us / seedex.latency_us);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fig. 18 reproduction: area-normalized kernel throughput (a),
+ * application throughput (b) and energy efficiency (c) of ASIC SeedEx
+ * against Sillax, CPU, GPU and GenAx. Paper claims: 20x kernel advantage
+ * over Sillax; ERT+SeedEx 1.56x iso-area and 2.45x energy over
+ * ERT+Sillax; 14.6x / 2.11x over GenAx.
+ *
+ * The CPU kernel bar is *measured* on this host (our software kernel);
+ * the other comparators use published operating points (see DESIGN.md).
+ */
+#include "bench_common.h"
+
+#include "hw/asic_model.h"
+#include "hw/systolic.h"
+#include "hw/throughput_model.h"
+#include "util/stopwatch.h"
+
+using namespace seedex;
+using namespace seedex::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    banner("Figure 18: ASIC SeedEx performance",
+           "20x kernel/mm^2 vs Sillax; 1.56x & 2.45x vs ERT+Sillax; "
+           "14.6x & 2.11x vs GenAx");
+
+    const Workload w = buildWorkload(quick ? 150000 : 300000,
+                                     quick ? 150 : 500, 1818);
+
+    // Measure the software kernel on this host (the CPU kernel bar).
+    Stopwatch watch;
+    watch.start();
+    for (const ExtensionJob &job : w.jobs)
+        kswExtend(job.query, job.target, job.h0, {});
+    watch.stop();
+    const double cpu_ext_per_sec =
+        static_cast<double>(w.jobs.size()) / watch.seconds();
+
+    // Average device cycles per extension from the systolic model.
+    const WorkloadProfile profile =
+        WorkloadProfile::measure(w.jobs, 41, Scoring::bwaDefault());
+    const SystolicBswCore core(41);
+    const double cycles = static_cast<double>(core.latencyCycles(
+        static_cast<int>(profile.avg_rows),
+        static_cast<int>(profile.avg_query_len)));
+
+    const AsicModel model;
+    const auto bars = buildFig18(model, cycles, cpu_ext_per_sec);
+
+    TextTable a, bc;
+    a.setHeader({"system", "K ext/s/mm^2"});
+    bc.setHeader({"system", "K reads/s/mm^2", "K reads/s/J"});
+    for (const AsicComparison &bar : bars) {
+        if (bar.kernel_kext_per_s_per_mm2 > 0) {
+            a.addRow({bar.system,
+                      strprintf("%.1f", bar.kernel_kext_per_s_per_mm2)});
+        } else {
+            bc.addRow({bar.system,
+                       strprintf("%.1f", bar.app_kreads_per_s_per_mm2),
+                       strprintf("%.1f",
+                                 bar.app_kreads_per_s_per_joule)});
+        }
+    }
+    std::cout << "(a) extension kernel throughput (CPU bar measured at "
+              << strprintf("%.2f M ext/s on this host):\n",
+                           cpu_ext_per_sec / 1e6)
+              << a.render() << '\n';
+    std::cout << "(b,c) application throughput and energy efficiency:\n"
+              << bc.render();
+
+    auto find = [&](const std::string &name) {
+        for (const auto &bar : bars)
+            if (bar.system == name)
+                return bar;
+        return AsicComparison{};
+    };
+    std::cout << strprintf(
+        "\n[claim] SeedEx vs Sillax kernel/mm^2: %.1fx (paper 20x)\n",
+        find("SeedEx").kernel_kext_per_s_per_mm2 /
+            find("SillaX").kernel_kext_per_s_per_mm2);
+    std::cout << strprintf(
+        "[claim] ERT+SeedEx vs ERT+Sillax: %.2fx area-normalized, "
+        "%.2fx energy (paper 1.56x / 2.45x)\n",
+        find("ERT+SeedEx").app_kreads_per_s_per_mm2 /
+            find("ERT+Sillax").app_kreads_per_s_per_mm2,
+        find("ERT+SeedEx").app_kreads_per_s_per_joule /
+            find("ERT+Sillax").app_kreads_per_s_per_joule);
+    std::cout << strprintf(
+        "[claim] ERT+SeedEx vs GenAx: %.1fx area-normalized, %.2fx "
+        "energy (paper 14.6x / 2.11x)\n",
+        find("ERT+SeedEx").app_kreads_per_s_per_mm2 /
+            find("GenAx").app_kreads_per_s_per_mm2,
+        find("ERT+SeedEx").app_kreads_per_s_per_joule /
+            find("GenAx").app_kreads_per_s_per_joule);
+    return 0;
+}

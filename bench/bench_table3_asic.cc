@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table III reproduction: area and power of the ASIC SeedEx design
+ * (12 BSW + 4 edit + 1 rerun core, TSMC 28 nm) alone and integrated with
+ * the ERT seeding accelerator. Paper totals: SeedEx 0.98 mm^2 / 1.10 W;
+ * with ERT 28.76 mm^2 / 9.81 W.
+ */
+#include "bench_common.h"
+
+#include "hw/asic_model.h"
+
+using namespace seedex;
+using namespace seedex::bench;
+
+int
+main(int argc, char **argv)
+{
+    (void)argc;
+    (void)argv;
+    banner("Table III: area and power of ASIC SeedEx",
+           "SeedEx 0.98 mm^2 / 1.10 W; +ERT 28.76 mm^2 / 9.81 W");
+
+    const AsicModel model;
+    TextTable table;
+    table.setHeader({"Configuration", "Count", "Area (mm^2)",
+                     "Power (mW)"});
+    for (const AsicComponent &row : model.table()) {
+        table.addRow({row.name, row.configuration,
+                      strprintf("%.3f", row.area_mm2),
+                      strprintf("%.1f", row.power_w * 1e3)});
+    }
+    std::cout << table.render();
+
+    // Design-space view: the same model at other core counts.
+    std::cout << "\nscaling the design (model-derived):\n";
+    TextTable scale;
+    scale.setHeader({"BSW:edit cores", "area mm^2", "power W"});
+    for (const auto &[bsw, edit] :
+         {std::pair<int, int>{6, 2}, {12, 4}, {24, 8}}) {
+        AsicDesign d;
+        d.bsw_cores = bsw;
+        d.edit_cores = edit;
+        scale.addRow({strprintf("%d:%d", bsw, edit),
+                      strprintf("%.2f", model.seedexArea(d)),
+                      strprintf("%.2f", model.seedexPower(d))});
+    }
+    std::cout << scale.render();
+    return 0;
+}

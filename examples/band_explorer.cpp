@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Band explorer: the §II-B workload analysis on your own parameters.
+ *
+ * For a simulated read set, measures per-extension (a) the conservative
+ * band BWA-MEM estimates a priori and (b) the band the optimal alignment
+ * actually uses (max_off of an unbanded run), then prints the Fig. 2
+ * style distribution table and the cumulative fractions behind the
+ * "98 % of extensions need w <= 10" observation.
+ *
+ * Usage: band_explorer [reads] [long_indel_fraction] [seed]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "aligner/pipeline.h"
+#include "genome/read_sim.h"
+#include "genome/reference.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace seedex;
+
+int
+main(int argc, char **argv)
+{
+    const size_t n_reads = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                    : 500;
+    const double long_frac = argc > 2 ? std::atof(argv[2]) : 0.01;
+    const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                   : 7;
+
+    Rng rng(seed);
+    ReferenceParams ref_params;
+    ref_params.length = 400000;
+    const Sequence reference = generateReference(ref_params, rng);
+
+    ReadSimParams sim_params;
+    sim_params.long_indel_read_fraction = long_frac;
+    ReadSimulator simulator(reference, sim_params);
+
+    // Drive the real pipeline with a capturing full-band engine so the
+    // measured extensions are exactly what an aligner would issue.
+    PipelineConfig config;
+    Aligner aligner(reference, config);
+    std::vector<ExtensionJob> jobs;
+    PipelineStats stats;
+    for (size_t i = 0; i < n_reads; ++i) {
+        const SimulatedRead r = simulator.simulate(rng, i);
+        aligner.alignRead(r.name, r.seq, &stats, &jobs);
+    }
+
+    Histogram estimated, used;
+    for (const ExtensionJob &job : jobs) {
+        estimated.add(estimateFullBand(
+            static_cast<int>(job.query.size()), Scoring::bwaDefault()));
+        const ExtendResult r = kswExtend(job.query, job.target, job.h0,
+                                         ExtendConfig{});
+        used.add(r.max_off);
+    }
+
+    TextTable table;
+    table.setHeader({"band", "estimated", "used"});
+    const std::pair<int, int> buckets[] = {
+        {0, 0}, {1, 10}, {11, 20}, {21, 30}, {31, 40}, {41, 1 << 20}};
+    for (const auto &[lo, hi] : buckets) {
+        const std::string label =
+            hi >= (1 << 20) ? ">40" : strprintf("%d-%d", lo, hi);
+        table.addRow({label,
+                      strprintf("%5.1f%%",
+                                100.0 * estimated.countInRange(lo, hi) /
+                                    static_cast<double>(estimated.total())),
+                      strprintf("%5.1f%%",
+                                100.0 * used.countInRange(lo, hi) /
+                                    static_cast<double>(used.total()))});
+    }
+    std::cout << "Band distribution over " << jobs.size()
+              << " seed extensions (cf. paper Fig. 2):\n\n"
+              << table.render();
+
+    std::cout << strprintf(
+        "\nfraction of extensions with used band <= 10: %.2f%%\n",
+        100.0 * used.fractionAtMost(10));
+    std::cout << strprintf(
+        "fraction of extensions with estimated band > 40: %.2f%%\n",
+        100.0 * (1.0 - estimated.fractionAtMost(40)));
+    std::cout << strprintf("p98 of used band: %lld, max: %lld\n",
+                           static_cast<long long>(used.quantile(0.98)),
+                           static_cast<long long>(used.max()));
+    return 0;
+}

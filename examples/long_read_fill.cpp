@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Long-read seed-and-chain-then-fill demo (§VII-D).
+ *
+ * Simulates PacBio-ish long reads, aligns them with the minimap2-style
+ * strategy (SMEM seeding, chaining, SeedEx-checked banded global fills
+ * between consecutive seeds) and reports how often the tiny fill band is
+ * *proven* optimal and how much DP compute the band saves.
+ *
+ * Usage: long_read_fill [reads] [read_len] [fill_band] [seed]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "aligner/longread.h"
+#include "genome/read_sim.h"
+#include "genome/reference.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace seedex;
+
+int
+main(int argc, char **argv)
+{
+    const size_t n_reads = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                    : 20;
+    const size_t read_len = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                     : 4000;
+    const int fill_band = argc > 3 ? std::atoi(argv[3]) : 16;
+    const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                   : 5;
+
+    Rng rng(seed);
+    ReferenceParams ref_params;
+    ref_params.length = 500000;
+    const Sequence reference = generateReference(ref_params, rng);
+    const FmdIndex index(reference);
+
+    ReadSimParams sim_params;
+    sim_params.read_length = read_len;
+    sim_params.base_error_rate = 0.01;
+    sim_params.small_indel_rate = 0.004;
+    sim_params.small_indel_ext = 0.4;
+    sim_params.long_indel_read_fraction = 0.3;
+    ReadSimulator simulator(reference, sim_params);
+
+    LongReadConfig config;
+    config.fill.band = fill_band;
+
+    FillStats stats;
+    size_t mapped = 0, correct = 0;
+    for (size_t i = 0; i < n_reads; ++i) {
+        const SimulatedRead read = simulator.simulate(rng, i);
+        const LongReadAlignment aln =
+            alignLongRead(index, reference, read.seq, config, &stats);
+        if (!aln.mapped)
+            continue;
+        ++mapped;
+        const int64_t delta = static_cast<int64_t>(aln.rbeg) -
+                              static_cast<int64_t>(read.true_pos);
+        correct += aln.reverse == read.reverse &&
+                   std::llabs(delta) <
+                       static_cast<int64_t>(read_len) + 100;
+        if (i < 3) {
+            std::cout << strprintf(
+                "%s: pos %llu strand %c score %d, cigar %zu ops\n",
+                read.name.c_str(),
+                static_cast<unsigned long long>(aln.rbeg),
+                aln.reverse ? '-' : '+', aln.score,
+                aln.cigar.ops().size());
+        }
+    }
+
+    std::cout << strprintf("\nmapped %zu/%zu long reads (%zu at the true "
+                           "locus)\n",
+                           mapped, n_reads, correct);
+    std::cout << strprintf(
+        "fills: %llu total, %.1f%% proven optimal at band %d, %.1f%% "
+        "rerun\n",
+        static_cast<unsigned long long>(stats.fills),
+        100.0 * static_cast<double>(stats.guaranteed) /
+            static_cast<double>(stats.fills),
+        fill_band,
+        100.0 * static_cast<double>(stats.reruns) /
+            static_cast<double>(stats.fills));
+    std::cout << strprintf(
+        "DP cells saved by the band: %.1f%% (the area/time SeedEx "
+        "recovers in the fill kernel)\n",
+        100.0 * stats.cellsSavedFraction());
+    return 0;
+}

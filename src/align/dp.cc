@@ -1,0 +1,475 @@
+#include "align/dp.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace seedex {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+/** Backpointer codes for Gotoh traceback. */
+enum : uint8_t
+{
+    kFromDiag = 0,  // H came from H(i-1,j-1) + S
+    kFromE = 1,     // H came from E (deletion)
+    kFromF = 2,     // H came from F (insertion)
+    kFromStart = 3, // local/semi-global fresh start
+};
+
+struct GotohGrid
+{
+    int rows, cols; // (tlen+1) x (qlen+1)
+    std::vector<int> h, e, f;
+    std::vector<uint8_t> bh;  // source of H
+    std::vector<uint8_t> be;  // 1 if E extended from E, 0 if opened from H
+    std::vector<uint8_t> bf;  // 1 if F extended from F, 0 if opened from H
+
+    GotohGrid(int r, int c)
+        : rows(r), cols(c), h(static_cast<size_t>(r) * c, kNegInf),
+          e(static_cast<size_t>(r) * c, kNegInf),
+          f(static_cast<size_t>(r) * c, kNegInf),
+          bh(static_cast<size_t>(r) * c, kFromStart),
+          be(static_cast<size_t>(r) * c, 0),
+          bf(static_cast<size_t>(r) * c, 0)
+    {}
+
+    size_t at(int i, int j) const
+    {
+        return static_cast<size_t>(i) * cols + j;
+    }
+};
+
+/** Trace a Gotoh grid from (ti,tj) back to a start cell, emitting ops. */
+Alignment
+traceback(const GotohGrid &g, const Sequence &, const Sequence &,
+          int ti, int tj, AlignMode mode)
+{
+    Alignment out;
+    out.ref_end = ti;
+    out.query_end = tj;
+    std::vector<CigarOp> rev;
+    auto pushRev = [&rev](char op, int len) {
+        if (len <= 0)
+            return;
+        if (!rev.empty() && rev.back().op == op)
+            rev.back().len += len;
+        else
+            rev.push_back({op, len});
+    };
+    int i = ti, j = tj;
+    // In E/F runs we must follow the gap channel until it reports "opened".
+    int channel = -1; // -1: in H, 1: in E, 2: in F
+    while (i > 0 || j > 0) {
+        const size_t k = g.at(i, j);
+        if (channel == -1) {
+            const uint8_t src = g.bh[k];
+            if (src == kFromStart)
+                break;
+            if (src == kFromDiag) {
+                pushRev('M', 1);
+                --i;
+                --j;
+                continue;
+            }
+            channel = src == kFromE ? 1 : 2;
+            continue;
+        }
+        if (channel == 1) { // E: deletion, consumes target
+            pushRev('D', 1);
+            const bool extended = g.be[k] != 0;
+            --i;
+            if (!extended)
+                channel = -1;
+            continue;
+        }
+        // F: insertion, consumes query
+        pushRev('I', 1);
+        const bool extended = g.bf[k] != 0;
+        --j;
+        if (!extended)
+            channel = -1;
+        continue;
+    }
+    if (mode == AlignMode::Global && (i != 0 || j != 0))
+        throw std::runtime_error("global traceback did not reach origin");
+    out.ref_begin = i;
+    out.query_begin = j;
+    Cigar cigar;
+    for (auto it = rev.rbegin(); it != rev.rend(); ++it)
+        cigar.push(it->op, it->len);
+    out.cigar = cigar;
+    return out;
+}
+
+} // namespace
+
+Alignment
+alignFull(const Sequence &query, const Sequence &target,
+          const Scoring &scoring, AlignMode mode)
+{
+    const int qlen = static_cast<int>(query.size());
+    const int tlen = static_cast<int>(target.size());
+    GotohGrid g(tlen + 1, qlen + 1);
+
+    const int oe_del = scoring.gap_open_del + scoring.gap_extend_del;
+    const int oe_ins = scoring.gap_open_ins + scoring.gap_extend_ins;
+
+    // Origin and edges.
+    g.h[g.at(0, 0)] = 0;
+    for (int j = 1; j <= qlen; ++j) {
+        const size_t k = g.at(0, j);
+        if (mode == AlignMode::Local) {
+            g.h[k] = 0;
+        } else {
+            // Query chars before any target: insertions.
+            g.f[k] = -(scoring.gap_open_ins + scoring.gap_extend_ins * j);
+            g.h[k] = g.f[k];
+            g.bh[k] = kFromF;
+            g.bf[k] = j > 1;
+        }
+    }
+    for (int i = 1; i <= tlen; ++i) {
+        const size_t k = g.at(i, 0);
+        if (mode == AlignMode::Global) {
+            g.e[k] = -(scoring.gap_open_del + scoring.gap_extend_del * i);
+            g.h[k] = g.e[k];
+            g.bh[k] = kFromE;
+            g.be[k] = i > 1;
+        } else {
+            g.h[k] = 0; // free reference prefix
+        }
+    }
+
+    int best = kNegInf, best_i = 0, best_j = 0;
+    for (int i = 1; i <= tlen; ++i) {
+        for (int j = 1; j <= qlen; ++j) {
+            const size_t k = g.at(i, j);
+            const size_t up = g.at(i - 1, j);
+            const size_t left = g.at(i, j - 1);
+            const size_t diag = g.at(i - 1, j - 1);
+
+            const int e_open = g.h[up] - oe_del;
+            const int e_ext = g.e[up] - scoring.gap_extend_del;
+            g.e[k] = std::max(e_open, e_ext);
+            g.be[k] = e_ext > e_open;
+
+            const int f_open = g.h[left] - oe_ins;
+            const int f_ext = g.f[left] - scoring.gap_extend_ins;
+            g.f[k] = std::max(f_open, f_ext);
+            g.bf[k] = f_ext > f_open;
+
+            const int m =
+                g.h[diag] + scoring.score(target[i - 1], query[j - 1]);
+            int h = m;
+            uint8_t src = kFromDiag;
+            if (g.e[k] > h) {
+                h = g.e[k];
+                src = kFromE;
+            }
+            if (g.f[k] > h) {
+                h = g.f[k];
+                src = kFromF;
+            }
+            if (mode == AlignMode::Local && h < 0) {
+                h = 0;
+                src = kFromStart;
+            }
+            g.h[k] = h;
+            g.bh[k] = src;
+
+            const bool candidate =
+                mode == AlignMode::Local ||
+                (mode == AlignMode::SemiGlobal && j == qlen) ||
+                (mode == AlignMode::Global && i == tlen && j == qlen);
+            if (candidate && h > best) {
+                best = h;
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+
+    if (mode == AlignMode::Global) {
+        best = g.h[g.at(tlen, qlen)];
+        best_i = tlen;
+        best_j = qlen;
+    }
+    if (best == kNegInf) { // empty query or target
+        Alignment out;
+        out.score = mode == AlignMode::Local ? 0 : g.h[g.at(tlen, qlen)];
+        return out;
+    }
+    Alignment out = traceback(g, query, target, best_i, best_j, mode);
+    out.score = best;
+    return out;
+}
+
+Alignment
+globalAlignBanded(const Sequence &query, const Sequence &target,
+                  const Scoring &scoring, int band)
+{
+    const int qlen = static_cast<int>(query.size());
+    const int tlen = static_cast<int>(target.size());
+    if (band < std::abs(qlen - tlen))
+        throw std::runtime_error("globalAlignBanded: band excludes corner");
+
+    // Band-compact storage: scores roll row to row; only the 2-bit-ish
+    // backpointers persist, at (tlen+1) x (2*band+1). This runs once per
+    // read on the host (traceback), so its footprint matters for the
+    // pipeline's "other" stage.
+    const int width = 2 * band + 1;
+    const int oe_del = scoring.gap_open_del + scoring.gap_extend_del;
+    const int oe_ins = scoring.gap_open_ins + scoring.gap_extend_ins;
+
+    std::vector<uint8_t> bh(static_cast<size_t>(tlen + 1) * width,
+                            kFromStart);
+    std::vector<uint8_t> be(static_cast<size_t>(tlen + 1) * width, 0);
+    std::vector<uint8_t> bf(static_cast<size_t>(tlen + 1) * width, 0);
+    auto at = [&](int i, int j) {
+        // Column j lives at offset j - (i - band) within row i's slice.
+        return static_cast<size_t>(i) * width + (j - (i - band));
+    };
+    auto inBand = [&](int i, int j) {
+        return j >= i - band && j <= i + band;
+    };
+
+    std::vector<int> h_prev(qlen + 1, kNegInf), e_prev(qlen + 1, kNegInf);
+    std::vector<int> f_prev(qlen + 1, kNegInf);
+    std::vector<int> h_cur(qlen + 1, kNegInf), e_cur(qlen + 1, kNegInf);
+    std::vector<int> f_cur(qlen + 1, kNegInf);
+
+    // Row 0.
+    h_prev[0] = 0;
+    for (int j = 1; j <= qlen && j <= band; ++j) {
+        f_prev[j] = -(scoring.gap_open_ins + scoring.gap_extend_ins * j);
+        h_prev[j] = f_prev[j];
+        bh[at(0, j)] = kFromF;
+        bf[at(0, j)] = j > 1;
+    }
+
+    for (int i = 1; i <= tlen; ++i) {
+        const int lo = std::max(0, i - band);
+        const int hi = std::min(qlen, i + band);
+        // Clear one column left of the band too: the F/H reads at j = lo
+        // must not see stale values from row i-2 (the rolling buffers).
+        const int clear_lo = std::max(0, lo - 1);
+        std::fill(h_cur.begin() + clear_lo, h_cur.begin() + hi + 1,
+                  kNegInf);
+        std::fill(e_cur.begin() + clear_lo, e_cur.begin() + hi + 1,
+                  kNegInf);
+        std::fill(f_cur.begin() + clear_lo, f_cur.begin() + hi + 1,
+                  kNegInf);
+        if (lo == 0 && i <= band) {
+            e_cur[0] =
+                -(scoring.gap_open_del + scoring.gap_extend_del * i);
+            h_cur[0] = e_cur[0];
+            bh[at(i, 0)] = kFromE;
+            be[at(i, 0)] = i > 1;
+        }
+        for (int j = std::max(1, lo); j <= hi; ++j) {
+            const size_t k = at(i, j);
+            const int up_h = inBand(i - 1, j) ? h_prev[j] : kNegInf;
+            const int up_e = inBand(i - 1, j) ? e_prev[j] : kNegInf;
+            const int e_open = up_h - oe_del;
+            const int e_ext = up_e - scoring.gap_extend_del;
+            e_cur[j] = std::max(e_open, e_ext);
+            be[k] = e_ext > e_open;
+
+            const int f_open = h_cur[j - 1] - oe_ins;
+            const int f_ext = f_cur[j - 1] - scoring.gap_extend_ins;
+            f_cur[j] = std::max(f_open, f_ext);
+            bf[k] = f_ext > f_open;
+
+            const int diag_h =
+                inBand(i - 1, j - 1) ? h_prev[j - 1] : kNegInf;
+            const int m =
+                diag_h + scoring.score(target[i - 1], query[j - 1]);
+            int h = m;
+            uint8_t src = kFromDiag;
+            if (e_cur[j] > h) {
+                h = e_cur[j];
+                src = kFromE;
+            }
+            if (f_cur[j] > h) {
+                h = f_cur[j];
+                src = kFromF;
+            }
+            h_cur[j] = h;
+            bh[k] = src;
+        }
+        std::swap(h_prev, h_cur);
+        std::swap(e_prev, e_cur);
+        std::swap(f_prev, f_cur);
+    }
+
+    // Traceback over the compact pointers.
+    Alignment out;
+    out.ref_end = tlen;
+    out.query_end = qlen;
+    out.score = h_prev[qlen];
+    std::vector<CigarOp> rev;
+    auto pushRev = [&rev](char op, int len) {
+        if (len <= 0)
+            return;
+        if (!rev.empty() && rev.back().op == op)
+            rev.back().len += len;
+        else
+            rev.push_back({op, len});
+    };
+    int i = tlen, j = qlen;
+    int channel = -1;
+    while (i > 0 || j > 0) {
+        const size_t k = at(i, j);
+        if (channel == -1) {
+            const uint8_t src = bh[k];
+            if (src == kFromStart)
+                break;
+            if (src == kFromDiag) {
+                pushRev('M', 1);
+                --i;
+                --j;
+                continue;
+            }
+            channel = src == kFromE ? 1 : 2;
+            continue;
+        }
+        if (channel == 1) {
+            pushRev('D', 1);
+            const bool extended = be[k] != 0;
+            --i;
+            if (!extended)
+                channel = -1;
+            continue;
+        }
+        pushRev('I', 1);
+        const bool extended = bf[k] != 0;
+        --j;
+        if (!extended)
+            channel = -1;
+    }
+    if (i != 0 || j != 0)
+        throw std::runtime_error("banded traceback did not reach origin");
+    Cigar cigar;
+    for (auto it = rev.rbegin(); it != rev.rend(); ++it)
+        cigar.push(it->op, it->len);
+    out.cigar = cigar;
+    return out;
+}
+
+ExtendResult
+extendOracle(const Sequence &query, const Sequence &target, int h0,
+             const Scoring &scoring)
+{
+    return extendOracleBanded(query, target, h0, scoring,
+                              static_cast<int>(query.size() +
+                                               target.size()) + 1);
+}
+
+ExtendResult
+extendOracleBanded(const Sequence &query, const Sequence &target, int h0,
+                   const Scoring &scoring, int band)
+{
+    const int qlen = static_cast<int>(query.size());
+    const int tlen = static_cast<int>(target.size());
+    ExtendResult res;
+    res.score = h0;
+    if (qlen == 0 || tlen == 0)
+        return res;
+
+    const int oe_del = scoring.gap_open_del + scoring.gap_extend_del;
+    const int oe_ins = scoring.gap_open_ins + scoring.gap_extend_ins;
+
+    // Virtual row -1 (query-prefix insertions) and column -1
+    // (target-prefix deletions), zero-floored like the kernel.
+    std::vector<int> row_init(qlen);
+    for (int j = 0; j < qlen; ++j) {
+        row_init[j] = std::max(
+            0, h0 - (scoring.gap_open_ins +
+                     scoring.gap_extend_ins * (j + 1)));
+    }
+    std::vector<int> col_init(tlen);
+    for (int i = 0; i < tlen; ++i) {
+        col_init[i] = std::max(
+            0, h0 - (scoring.gap_open_del +
+                     scoring.gap_extend_del * (i + 1)));
+    }
+
+    // Dense M/H/E grids; F is row-local.
+    std::vector<std::vector<int>> H(tlen, std::vector<int>(qlen, 0));
+    std::vector<std::vector<int>> M(tlen, std::vector<int>(qlen, 0));
+    std::vector<std::vector<int>> E(tlen, std::vector<int>(qlen, 0));
+
+    int max = h0, max_i = -1, max_j = -1, max_off = 0;
+    int gscore = -1, max_ie = -1;
+    for (int i = 0; i < tlen; ++i) {
+        int f = 0; // dead at the band's left edge, like the kernel
+        int m = 0, mj = -1;
+        const int jlo = std::max(0, i - band);
+        const int jhi = std::min(qlen - 1, i + band);
+        for (int j = jlo; j <= jhi; ++j) {
+            const int diag = i == 0
+                ? (j == 0 ? h0 : row_init[j - 1])
+                : (j == 0 ? col_init[i - 1] : H[i - 1][j - 1]);
+            M[i][j] =
+                diag ? diag + scoring.score(target[i], query[j]) : 0;
+            // Out-of-band predecessors were never written and read as
+            // dead zeros, matching the banded kernel's boundary.
+            const int e = i == 0
+                ? 0
+                : std::max({E[i - 1][j] - scoring.gap_extend_del,
+                            M[i - 1][j] - oe_del, 0});
+            E[i][j] = e;
+            const int h = std::max({M[i][j], e, f});
+            H[i][j] = h;
+            if (h >= m) {
+                m = h;
+                mj = j;
+            }
+            // F(i, j+1) opens from M only (no I-after-D CIGARs).
+            f = std::max({f - scoring.gap_extend_ins,
+                          M[i][j] - oe_ins, 0});
+        }
+        if (jhi == qlen - 1 && gscore < H[i][qlen - 1]) {
+            gscore = H[i][qlen - 1];
+            max_ie = i;
+        }
+        if (m > max) {
+            max = m;
+            max_i = i;
+            max_j = mj;
+            max_off = std::max(max_off, std::abs(mj - i));
+        }
+    }
+    res.score = max;
+    res.qle = max_j + 1;
+    res.tle = max_i + 1;
+    res.gscore = gscore;
+    res.gtle = max_ie + 1;
+    res.max_off = max_off;
+    return res;
+}
+
+int
+levenshtein(const Sequence &a, const Sequence &b)
+{
+    const size_t n = b.size();
+    std::vector<int> row(n + 1);
+    for (size_t j = 0; j <= n; ++j)
+        row[j] = static_cast<int>(j);
+    for (size_t i = 1; i <= a.size(); ++i) {
+        int diag = row[0];
+        row[0] = static_cast<int>(i);
+        for (size_t j = 1; j <= n; ++j) {
+            const int sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+        }
+    }
+    return row[n];
+}
+
+} // namespace seedex

@@ -1,0 +1,77 @@
+#ifndef SEEDEX_ALIGN_DP_H
+#define SEEDEX_ALIGN_DP_H
+
+#include "align/cigar.h"
+#include "align/extend.h"
+#include "align/scoring.h"
+#include "genome/sequence.h"
+
+namespace seedex {
+
+/** Alignment scope (Fig. 1 of the paper). */
+enum class AlignMode
+{
+    /** Smith-Waterman: free ends on both strings. */
+    Local,
+    /** Needleman-Wunsch: both strings end-to-end. */
+    Global,
+    /** Query end-to-end, reference ends free (the seed-extension shape). */
+    SemiGlobal,
+};
+
+/** A scored alignment with an explicit trace. */
+struct Alignment
+{
+    int score = 0;
+    /** Half-open aligned spans. */
+    int query_begin = 0, query_end = 0;
+    int ref_begin = 0, ref_end = 0;
+    Cigar cigar;
+};
+
+/**
+ * Full-matrix textbook DP aligner with traceback.
+ *
+ * This is the reference oracle used by the test suite to validate the
+ * production kernels, and the host-side traceback engine of the pipeline
+ * (the paper leaves traceback on the CPU, §II/§V-B). O(N*M) time and
+ * space; not for hot paths.
+ */
+Alignment alignFull(const Sequence &query, const Sequence &target,
+                    const Scoring &scoring, AlignMode mode);
+
+/**
+ * Banded global alignment with traceback (the ksw_global analogue BWA-MEM
+ * runs on the host to produce the final CIGAR between seed endpoints).
+ * Cells outside |i - j| <= band are not computed; the band must admit at
+ * least one path (band >= |qlen - tlen|), otherwise throws.
+ */
+Alignment globalAlignBanded(const Sequence &query, const Sequence &target,
+                            const Scoring &scoring, int band);
+
+/**
+ * Independent full-matrix implementation of the seed-extension semantics
+ * (zero floor + blocked restarts, no banding, no row trimming). Used by
+ * property tests to cross-validate kswExtend; intentionally written in the
+ * plainest possible style.
+ */
+ExtendResult extendOracle(const Sequence &query, const Sequence &target,
+                          int h0, const Scoring &scoring);
+
+/**
+ * Banded variant of extendOracle: cells with |i - j| > band are never
+ * computed and read as dead (zero) by their neighbors, exactly the
+ * boundary behaviour of the banded kernel/systolic array, but with *no*
+ * row trimming or early termination. This is the functional reference
+ * for the PE-array hardware simulation (which also has no trimming).
+ */
+ExtendResult extendOracleBanded(const Sequence &query,
+                                const Sequence &target, int h0,
+                                const Scoring &scoring, int band);
+
+/** Classic Levenshtein distance (unit costs), for edit-machine tests. */
+int levenshtein(const Sequence &a, const Sequence &b);
+
+} // namespace seedex
+
+#endif // SEEDEX_ALIGN_DP_H

@@ -1,0 +1,95 @@
+#ifndef SEEDEX_ALIGN_EXTEND_H
+#define SEEDEX_ALIGN_EXTEND_H
+
+#include <climits>
+#include <vector>
+
+#include "align/scoring.h"
+#include "genome/sequence.h"
+
+namespace seedex {
+
+/**
+ * Result of one banded semi-global seed extension (BWA-MEM ksw_extend
+ * semantics).
+ *
+ * Index convention: cell (i,j) consumes target[0..i] and query[0..j]
+ * inclusive, so lengths below are counts of consumed characters.
+ */
+struct ExtendResult
+{
+    /** Best score anywhere in the matrix (the "local" extension score). */
+    int score = 0;
+    /** Query/target chars consumed at the best-scoring cell. */
+    int qle = 0;
+    int tle = 0;
+    /** Best score among cells that consume the whole query (to-end /
+     *  semi-global score); -1 if the kernel never reached the query end. */
+    int gscore = -1;
+    /** Target chars consumed at the gscore cell. */
+    int gtle = 0;
+    /** Max |j - i| observed when the running max was updated: the band the
+     *  optimal alignment actually used (Fig. 2 "Used"). */
+    int max_off = 0;
+    /** True if Z-drop heuristic terminated the extension. */
+    bool zdropped = false;
+
+    bool operator==(const ExtendResult &) const = default;
+};
+
+/**
+ * Band-edge telemetry exported for the SeedEx optimality checks.
+ *
+ * For each query column j, `boundary_e[j]` holds E(j+w+1, j): the E-channel
+ * score crossing the band's lower (deletion-side) boundary below column j.
+ * Zero means no live path crosses there (in ksw_extend's zero-floored
+ * semantics a zero-score path is dead). In the SeedEx hardware these values
+ * fall out of the boundary PE each cycle (§III-C).
+ */
+struct BandEdgeTrace
+{
+    std::vector<int> boundary_e;
+};
+
+/** Configuration for the extension kernel. */
+struct ExtendConfig
+{
+    Scoring scoring = Scoring::bwaDefault();
+    /** Band half-width w: cells with |i - j| <= w are computed. Values
+     *  >= qlen + tlen are effectively unbanded. */
+    int band = INT_MAX / 4;
+    /** Z-drop threshold; negative disables (BWA-MEM uses 100). */
+    int zdrop = -1;
+    /** End bonus added when the extension reaches the query end (BWA-MEM
+     *  pen_clip machinery uses 5 by default at the read ends). */
+    int end_bonus = 0;
+    /** Collect band-edge E values for the SeedEx checks. */
+    BandEdgeTrace *edge_trace = nullptr;
+};
+
+/**
+ * Banded semi-global extension, a faithful scalar port of BWA-MEM's
+ * ksw_extend2 kernel: zero-floored scores, blocked restarts from
+ * zero-score cells, per-row live-interval trimming (the paper's
+ * "early termination": a row interval shrinks past two consecutive
+ * zero H/E cells), and whole-row-zero termination.
+ *
+ * @param query   Query codes (the read segment being extended).
+ * @param target  Reference codes.
+ * @param h0      Initial score carried in from the seed; must be > 0.
+ * @param config  Scoring, band, and termination knobs.
+ */
+ExtendResult kswExtend(const Sequence &query, const Sequence &target,
+                       int h0, const ExtendConfig &config);
+
+/**
+ * BWA-MEM's a-priori band estimate for one extension (Fig. 2 "Estimated"):
+ * the larger of the maximum affordable insertions and deletions given the
+ * query length and scoring, i.e. the band guaranteeing no optimal
+ * alignment is missed.
+ */
+int estimateFullBand(int qlen, const Scoring &scoring, int end_bonus = 0);
+
+} // namespace seedex
+
+#endif // SEEDEX_ALIGN_EXTEND_H

@@ -1,0 +1,88 @@
+#ifndef SEEDEX_ALIGN_SCORING_H
+#define SEEDEX_ALIGN_SCORING_H
+
+#include "genome/nucleotide.h"
+
+namespace seedex {
+
+/**
+ * Affine-gap scoring scheme s = {m, x, go, ge}.
+ *
+ * Matrix convention used across the repository: rows are the reference
+ * (target) string indexed by i, columns are the query indexed by j.
+ *   H(i,j) = max{ H(i-1,j-1) + S(i,j), E(i,j), F(i,j) }          (paper Eq 1)
+ *   E(i+1,j) = max{ H(i,j) - go_del, E(i,j) } - ge_del           (paper Eq 2)
+ *   F(i,j+1) = max{ H(i,j) - go_ins, F(i,j) } - ge_ins           (paper Eq 3)
+ * E moves down a column (consumes reference only: a deletion in the read),
+ * F moves along a row (consumes query only: an insertion in the read).
+ *
+ * Penalties are stored as non-negative magnitudes, exactly as BWA-MEM
+ * configures them. Insertions and deletions carry separate penalties so
+ * the relaxed edit-distance scheme of the SeedEx edit machine
+ * ({m:1, x:-1, go:0, ge(ins):0, ge(del):-1}, §IV-B) is expressible.
+ */
+struct Scoring
+{
+    /** Match reward m (positive). */
+    int match = 1;
+    /** Mismatch penalty x (non-negative magnitude). */
+    int mismatch = 4;
+    /** Gap-open penalties (non-negative magnitudes). */
+    int gap_open_ins = 6;
+    int gap_open_del = 6;
+    /** Gap-extend penalties (non-negative magnitudes). */
+    int gap_extend_ins = 1;
+    int gap_extend_del = 1;
+
+    /** Substitution score S(i,j): +m on match, -x otherwise (N never
+     *  matches, mirroring BWA's treatment of ambiguous bases). */
+    int
+    score(Base ref, Base query) const
+    {
+        return (ref == query && ref < kNumBases) ? match : -mismatch;
+    }
+
+    /** Symmetric constructor: the common {m, x, go, ge} form. */
+    static constexpr Scoring
+    affine(int m, int x, int go, int ge)
+    {
+        return Scoring{m, x, go, go, ge, ge};
+    }
+
+    /** BWA-MEM's default scheme saf = {1, -4, -6, -1}. */
+    static constexpr Scoring bwaDefault() { return affine(1, 4, 6, 1); }
+
+    /** Plain edit distance sed = {m:1, x:-1, go:0, ge:-1}. */
+    static constexpr Scoring editDistance() { return affine(1, 1, 0, 1); }
+
+    /**
+     * Relaxed edit distance sr_ed = {m:1, x:-1, go:0, ge(ins):0,
+     * ge(del):-1}. Zero-penalty insertions let local scores propagate
+     * horizontally to the single augmentation unit (§IV-B); the scheme
+     * stays admissible (dominates any affine score per edit).
+     */
+    static constexpr Scoring
+    relaxedEdit()
+    {
+        return Scoring{1, 1, 0, 0, 0, 1};
+    }
+
+    /** True if this scheme's per-edit cost never exceeds `other`'s
+     *  (i.e., scores under *this* upper-bound scores under `other` for
+     *  the same alignment). Used to assert admissibility in tests. */
+    bool
+    dominates(const Scoring &other) const
+    {
+        return match >= other.match && mismatch <= other.mismatch &&
+               gap_open_ins <= other.gap_open_ins &&
+               gap_open_del <= other.gap_open_del &&
+               gap_extend_ins <= other.gap_extend_ins &&
+               gap_extend_del <= other.gap_extend_del;
+    }
+
+    bool operator==(const Scoring &) const = default;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_ALIGN_SCORING_H

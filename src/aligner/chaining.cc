@@ -1,0 +1,117 @@
+#include "aligner/chaining.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace seedex {
+
+const Seed &
+Chain::anchor() const
+{
+    const Seed *best = &seeds.front();
+    for (const Seed &s : seeds)
+        if (s.len > best->len)
+            best = &s;
+    return *best;
+}
+
+namespace {
+
+/** Can `seed` join a chain whose last seed is `last`? */
+bool
+compatible(const Seed &last, const Seed &seed, const ChainingParams &p)
+{
+    if (seed.reverse != last.reverse)
+        return false;
+    if (seed.rbeg < last.rbeg)
+        return false;
+    const int64_t rgap =
+        static_cast<int64_t>(seed.rbeg) - static_cast<int64_t>(last.rend());
+    const int qgap = seed.qbeg - last.qend();
+    if (rgap > p.max_gap || qgap > p.max_gap)
+        return false;
+    if (std::llabs(seed.diagonal() - last.diagonal()) > p.max_diag_diff)
+        return false;
+    // Require forward progress in the query as well.
+    return seed.qend() > last.qend();
+}
+
+/** Query bases covered by a chain, counting overlaps once. */
+int
+chainWeight(const Chain &chain)
+{
+    int weight = 0;
+    int covered_to = -1;
+    for (const Seed &s : chain.seeds) {
+        const int from = std::max(s.qbeg, covered_to);
+        if (s.qend() > from)
+            weight += s.qend() - from;
+        covered_to = std::max(covered_to, s.qend());
+    }
+    return weight;
+}
+
+} // namespace
+
+std::vector<Chain>
+chainSeeds(const std::vector<Seed> &seeds, const ChainingParams &params)
+{
+    std::vector<Chain> chains;
+    for (const Seed &seed : seeds) {
+        Chain *home = nullptr;
+        // Greedy: try to append to the most recent compatible chain of
+        // the same strand (seeds arrive reference-sorted).
+        for (auto it = chains.rbegin(); it != chains.rend(); ++it) {
+            if (it->reverse == seed.reverse &&
+                compatible(it->seeds.back(), seed, params)) {
+                home = &*it;
+                break;
+            }
+        }
+        if (home) {
+            home->seeds.push_back(seed);
+        } else {
+            Chain chain;
+            chain.reverse = seed.reverse;
+            chain.seeds.push_back(seed);
+            chains.push_back(std::move(chain));
+        }
+    }
+    for (Chain &chain : chains)
+        chain.weight = chainWeight(chain);
+
+    std::sort(chains.begin(), chains.end(),
+              [](const Chain &a, const Chain &b) {
+                  return a.weight > b.weight;
+              });
+
+    // Filter: weight floor relative to the best, query-overlap masking,
+    // and the global cap.
+    std::vector<Chain> kept;
+    for (Chain &chain : chains) {
+        if (kept.size() >= params.max_chains)
+            break;
+        if (!kept.empty() &&
+            chain.weight <
+                params.drop_ratio * static_cast<double>(kept[0].weight))
+            break;
+        bool masked = false;
+        for (const Chain &strong : kept) {
+            const int lo = std::max(chain.qbeg(), strong.qbeg());
+            const int hi = std::min(chain.qend(), strong.qend());
+            const int overlap = std::max(0, hi - lo);
+            const int span = chain.qend() - chain.qbeg();
+            if (span > 0 &&
+                overlap > params.mask_level * static_cast<double>(span) &&
+                chain.weight < strong.weight) {
+                masked = true;
+                break;
+            }
+        }
+        if (!masked)
+            kept.push_back(std::move(chain));
+    }
+    return kept;
+}
+
+} // namespace seedex

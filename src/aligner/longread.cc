@@ -1,0 +1,122 @@
+#include "aligner/longread.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+namespace {
+
+/** Keep a monotone, non-overlapping subset of a chain's seeds (greedy by
+ *  query start; later seeds must advance both coordinates). */
+std::vector<Seed>
+monotoneSeeds(const Chain &chain)
+{
+    std::vector<Seed> seeds = chain.seeds;
+    std::sort(seeds.begin(), seeds.end(), [](const Seed &a, const Seed &b) {
+        return a.qbeg != b.qbeg ? a.qbeg < b.qbeg : a.rbeg < b.rbeg;
+    });
+    std::vector<Seed> kept;
+    for (const Seed &s : seeds) {
+        if (kept.empty()) {
+            kept.push_back(s);
+            continue;
+        }
+        const Seed &last = kept.back();
+        if (s.qbeg >= last.qend() && s.rbeg >= last.rend())
+            kept.push_back(s);
+    }
+    return kept;
+}
+
+} // namespace
+
+LongReadAlignment
+alignLongRead(const FmdIndex &index, const Sequence &reference,
+              const Sequence &read, const LongReadConfig &config,
+              FillStats *stats)
+{
+    LongReadAlignment out;
+    const std::vector<Seed> seeds =
+        collectSeeds(index, read, config.seeding);
+    const std::vector<Chain> chains =
+        chainSeeds(seeds, config.chaining);
+    if (chains.empty())
+        return out;
+
+    const Chain &chain = chains.front();
+    const std::vector<Seed> spine = monotoneSeeds(chain);
+    if (spine.empty())
+        return out;
+
+    const Sequence oriented =
+        chain.reverse ? read.reverseComplement() : read;
+    const GlobalSeedExFilter fill(config.fill);
+    const Scoring &s = config.fill.scoring;
+
+    out.mapped = true;
+    out.reverse = chain.reverse;
+    out.qbeg = spine.front().qbeg;
+    out.rbeg = spine.front().rbeg;
+    out.qend = spine.back().qend();
+    out.rend = spine.back().rend();
+
+    Cigar cigar;
+    cigar.push('S', out.qbeg);
+    int score = 0;
+    for (size_t k = 0; k < spine.size(); ++k) {
+        const Seed &seed = spine[k];
+        if (k > 0) {
+            // Fill the gap between the previous seed and this one with a
+            // SeedEx-checked banded global alignment.
+            const Seed &prev = spine[k - 1];
+            const int qgap = seed.qbeg - prev.qend();
+            const uint64_t rgap = seed.rbeg - prev.rend();
+            if (qgap == 0 && rgap == 0) {
+                // adjacent seeds: nothing to fill
+            } else if (qgap == 0) {
+                cigar.push('D', static_cast<int>(rgap));
+                score -= s.gap_open_del +
+                         s.gap_extend_del * static_cast<int>(rgap);
+            } else if (rgap == 0) {
+                cigar.push('I', qgap);
+                score -= s.gap_open_ins + s.gap_extend_ins * qgap;
+            } else {
+                const Sequence q = oriented.slice(
+                    static_cast<size_t>(prev.qend()),
+                    static_cast<size_t>(qgap));
+                const Sequence t = reference.slice(
+                    prev.rend(), static_cast<size_t>(rgap));
+                const GlobalFillOutcome f = fill.run(q, t);
+                score += f.alignment.score;
+                for (const CigarOp &op : f.alignment.cigar.ops())
+                    cigar.push(op.op, op.len);
+                if (stats) {
+                    ++stats->fills;
+                    stats->guaranteed += f.guaranteed;
+                    stats->reruns += f.rerun;
+                    const uint64_t full_cells =
+                        static_cast<uint64_t>(q.size()) * t.size();
+                    const uint64_t band_width = static_cast<uint64_t>(
+                        2 * std::max(config.fill.band,
+                                     std::abs(qgap -
+                                              static_cast<int>(rgap))) +
+                        1);
+                    stats->banded_cells += std::min<uint64_t>(
+                        full_cells, band_width * q.size());
+                    stats->full_cells += full_cells;
+                }
+            }
+        }
+        cigar.push('M', seed.len);
+        for (int i = 0; i < seed.len; ++i) {
+            score += s.score(reference[seed.rbeg + static_cast<size_t>(i)],
+                             oriented[static_cast<size_t>(seed.qbeg + i)]);
+        }
+    }
+    cigar.push('S', static_cast<int>(read.size()) - out.qend);
+    out.cigar = cigar;
+    out.score = score;
+    return out;
+}
+
+} // namespace seedex

@@ -1,0 +1,168 @@
+#include "aligner/paired.h"
+
+#include <algorithm>
+
+#include "align/dp.h"
+
+namespace seedex {
+
+namespace {
+
+/** Leftmost coordinate and rightmost end of a mapped record. */
+uint64_t
+recordEnd(const SamRecord &rec)
+{
+    return rec.pos + static_cast<uint64_t>(rec.cigar.referenceLength());
+}
+
+/** FR proper-pair test against the insert window. */
+bool
+isProper(const SamRecord &a, const SamRecord &b, const InsertModel &model)
+{
+    if (!a.mapped() || !b.mapped())
+        return false;
+    const bool a_rev = a.flag & kSamFlagReverse;
+    const bool b_rev = b.flag & kSamFlagReverse;
+    if (a_rev == b_rev)
+        return false;
+    const SamRecord &fwd = a_rev ? b : a;
+    const SamRecord &rev = a_rev ? a : b;
+    if (rev.pos + 1 < fwd.pos) // reverse mate must sit at/after forward
+        return false;
+    const int64_t insert = static_cast<int64_t>(recordEnd(rev)) -
+                           static_cast<int64_t>(fwd.pos);
+    return insert >= model.lo() && insert <= model.hi();
+}
+
+} // namespace
+
+PairedAligner::PairedAligner(const Sequence &reference, PairedConfig config)
+    : config_(config), single_(reference, config.pipeline)
+{}
+
+SamRecord
+PairedAligner::rescueMate(const std::string &name, const Sequence &mate,
+                          const SamRecord &anchor, bool mate_is_second)
+{
+    // Expected window (FR): the mate lies downstream of a forward anchor
+    // or upstream of a reverse anchor, reverse-complemented.
+    const Sequence &reference = single_.reference();
+    const bool anchor_rev = anchor.flag & kSamFlagReverse;
+    const int64_t lo_off = config_.insert.lo() -
+                           static_cast<int64_t>(mate.size());
+    const int64_t hi_off = config_.insert.hi();
+    uint64_t win_beg, win_end;
+    if (!anchor_rev) {
+        win_beg = anchor.pos + static_cast<uint64_t>(
+                                   std::max<int64_t>(0, lo_off));
+        win_end = std::min<uint64_t>(reference.size(),
+                                     anchor.pos + hi_off);
+    } else {
+        const uint64_t aend = recordEnd(anchor);
+        win_beg = aend > static_cast<uint64_t>(hi_off)
+            ? aend - static_cast<uint64_t>(hi_off)
+            : 0;
+        win_end = aend > static_cast<uint64_t>(std::max<int64_t>(0, lo_off))
+            ? aend - static_cast<uint64_t>(std::max<int64_t>(0, lo_off))
+            : 0;
+        win_end = std::min<uint64_t>(
+            reference.size(),
+            win_end + mate.size()); // room for the mate itself
+    }
+    SamRecord rec = unmappedRecord(name, mate);
+    if (win_end <= win_beg + mate.size() / 2)
+        return rec;
+
+    // BWA's mem_matesw: a local alignment of the (oriented) mate inside
+    // the window. The rescued mate aligns on the strand opposite the
+    // anchor.
+    const bool mate_rev = !anchor_rev;
+    const Sequence oriented = mate_rev ? mate.reverseComplement() : mate;
+    const Sequence window =
+        reference.slice(win_beg, win_end - win_beg);
+    const Alignment aln = alignFull(oriented, window,
+                                    config_.pipeline.extension.scoring,
+                                    AlignMode::Local);
+    // Require a confident hit (most of the read aligned).
+    if (aln.score < static_cast<int>(mate.size()) / 2)
+        return rec;
+
+    rec.flag = mate_rev ? kSamFlagReverse : 0;
+    rec.rname = "ref";
+    rec.pos = win_beg + static_cast<uint64_t>(aln.ref_begin);
+    rec.mapq = std::max(0, anchor.mapq - 10);
+    rec.score = aln.score;
+    rec.seq = oriented.toString();
+    Cigar cigar;
+    cigar.push('S', aln.query_begin);
+    for (const CigarOp &op : aln.cigar.ops())
+        cigar.push(op.op, op.len);
+    cigar.push('S',
+               static_cast<int>(mate.size()) - aln.query_end);
+    rec.cigar = cigar;
+    (void)mate_is_second;
+    return rec;
+}
+
+PairedResult
+PairedAligner::alignPair(const std::string &name, const Sequence &read1,
+                         const Sequence &read2, PipelineStats *stats)
+{
+    PairedResult out;
+    out.first = single_.alignRead(name, read1, stats);
+    out.second = single_.alignRead(name, read2, stats);
+
+    // Mate rescue: one end lost (or weak) while the other is confident.
+    if (config_.mate_rescue) {
+        if (!out.first.mapped() && out.second.mapped() &&
+            out.second.mapq >= 20) {
+            const SamRecord rescued =
+                rescueMate(name, read1, out.second, false);
+            if (rescued.mapped()) {
+                out.first = rescued;
+                out.rescued = true;
+            }
+        } else if (!out.second.mapped() && out.first.mapped() &&
+                   out.first.mapq >= 20) {
+            const SamRecord rescued =
+                rescueMate(name, read2, out.first, true);
+            if (rescued.mapped()) {
+                out.second = rescued;
+                out.rescued = true;
+            }
+        }
+    }
+
+    out.proper = isProper(out.first, out.second, config_.insert);
+
+    // SAM pair bookkeeping.
+    auto decorate = [&](SamRecord &rec, const SamRecord &mate,
+                        int which_flag) {
+        rec.qname = name;
+        rec.flag |= kSamFlagPaired | which_flag;
+        if (out.proper)
+            rec.flag |= kSamFlagProperPair;
+        if (!mate.mapped())
+            rec.flag |= kSamFlagMateUnmapped;
+        else if (mate.flag & kSamFlagReverse)
+            rec.flag |= kSamFlagMateReverse;
+        if (rec.mapped() && mate.mapped()) {
+            rec.rnext = "=";
+            rec.pnext = mate.pos;
+            const int64_t left =
+                static_cast<int64_t>(std::min(rec.pos, mate.pos));
+            const int64_t right = static_cast<int64_t>(
+                std::max(recordEnd(rec), recordEnd(mate)));
+            const int64_t span = right - left;
+            rec.tlen = static_cast<int64_t>(rec.pos) <=
+                               static_cast<int64_t>(mate.pos)
+                ? span
+                : -span;
+        }
+    };
+    decorate(out.first, out.second, kSamFlagFirstInPair);
+    decorate(out.second, out.first, kSamFlagSecondInPair);
+    return out;
+}
+
+} // namespace seedex

@@ -1,0 +1,79 @@
+#ifndef SEEDEX_ALIGNER_PAIRED_H
+#define SEEDEX_ALIGNER_PAIRED_H
+
+#include <cstdint>
+#include <utility>
+
+#include "aligner/pipeline.h"
+
+namespace seedex {
+
+/** Additional SAM flag bits used by the paired-end pipeline. */
+inline constexpr int kSamFlagPaired = 0x1;
+inline constexpr int kSamFlagProperPair = 0x2;
+inline constexpr int kSamFlagMateUnmapped = 0x8;
+inline constexpr int kSamFlagMateReverse = 0x20;
+inline constexpr int kSamFlagFirstInPair = 0x40;
+inline constexpr int kSamFlagSecondInPair = 0x80;
+
+/** Insert-size model for proper-pair scoring and mate rescue. */
+struct InsertModel
+{
+    double mean = 400;
+    double sd = 50;
+    /** Pairs within mean +- sigmas*sd count as proper. */
+    double sigmas = 4.0;
+
+    int lo() const { return static_cast<int>(mean - sigmas * sd); }
+    int hi() const { return static_cast<int>(mean + sigmas * sd); }
+};
+
+/** Paired-end configuration. */
+struct PairedConfig
+{
+    PipelineConfig pipeline;
+    InsertModel insert;
+    /** Attempt a SeedEx-checked rescue extension for an unmapped or
+     *  misplaced mate inside the other end's expected window. */
+    bool mate_rescue = true;
+};
+
+/** Outcome of one pair plus rescue bookkeeping. */
+struct PairedResult
+{
+    SamRecord first;
+    SamRecord second;
+    bool proper = false;
+    bool rescued = false;
+};
+
+/**
+ * Paired-end aligner (BWA-MEM's primary operating mode, which the
+ * SeedEx-accelerated pipeline must keep serving): aligns both ends
+ * single-end through the configured engine, marks FR pairs within the
+ * insert window as proper (flags, RNEXT/PNEXT/TLEN), and rescues a lost
+ * mate with a SeedEx-checked extension over the window implied by its
+ * partner.
+ */
+class PairedAligner
+{
+  public:
+    PairedAligner(const Sequence &reference, PairedConfig config);
+
+    PairedResult alignPair(const std::string &name, const Sequence &read1,
+                           const Sequence &read2,
+                           PipelineStats *stats = nullptr);
+
+    const Aligner &single() const { return single_; }
+
+  private:
+    SamRecord rescueMate(const std::string &name, const Sequence &mate,
+                         const SamRecord &anchor, bool mate_is_second);
+
+    PairedConfig config_;
+    Aligner single_;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_ALIGNER_PAIRED_H

@@ -1,0 +1,142 @@
+#include "aligner/pipeline.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+namespace {
+
+/** Engine decorator that captures every extension job for the device
+ *  model (the FPGA threads' batching path, §V-B). */
+class CapturingEngine : public ExtensionEngine
+{
+  public:
+    CapturingEngine(ExtensionEngine &inner,
+                    std::vector<ExtensionJob> *sink)
+        : inner_(inner), sink_(sink)
+    {}
+
+    ExtendResult
+    extend(const Sequence &query, const Sequence &target, int h0) override
+    {
+        if (sink_)
+            sink_->push_back({query, target, h0});
+        return inner_.extend(query, target, h0);
+    }
+
+    std::string name() const override { return inner_.name(); }
+
+  private:
+    ExtensionEngine &inner_;
+    std::vector<ExtensionJob> *sink_;
+};
+
+std::unique_ptr<ExtensionEngine>
+makeEngine(const PipelineConfig &config)
+{
+    switch (config.engine) {
+      case EngineKind::FullBand:
+        return std::make_unique<FullBandEngine>(config.extension.scoring,
+                                                config.extension.end_bonus);
+      case EngineKind::Banded:
+        return std::make_unique<BandedEngine>(config.band,
+                                              config.extension.scoring,
+                                              config.extension.end_bonus);
+      case EngineKind::SeedEx: {
+        SeedExConfig sx = config.seedex;
+        sx.band = config.band;
+        sx.scoring = config.extension.scoring;
+        return std::make_unique<SeedExEngine>(sx);
+      }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+Aligner::Aligner(const Sequence &reference, PipelineConfig config)
+    : ref_(reference), config_(config),
+      index_(std::make_unique<FmdIndex>(reference)),
+      engine_(makeEngine(config))
+{}
+
+SamRecord
+Aligner::alignRead(const std::string &name, const Sequence &read,
+                   PipelineStats *stats,
+                   std::vector<ExtensionJob> *capture)
+{
+    Stopwatch seeding_watch, extension_watch, other_watch;
+
+    // --- Seeding + chaining (the "seeding" bar of Fig. 17).
+    seeding_watch.start();
+    const std::vector<Seed> seeds =
+        collectSeeds(*index_, read, config_.seeding);
+    const std::vector<Chain> chains =
+        chainSeeds(seeds, config_.chaining);
+    seeding_watch.stop();
+
+    SamRecord rec;
+    if (chains.empty()) {
+        other_watch.start();
+        rec = unmappedRecord(name, read);
+        other_watch.stop();
+    } else {
+        // --- Seed extension through the configured engine.
+        extension_watch.start();
+        CapturingEngine engine(*engine_, capture);
+        const Sequence rc = read.reverseComplement();
+        std::vector<ChainAlignment> results;
+        results.reserve(chains.size());
+        const uint64_t calls_before = engine_->calls();
+        for (const Chain &chain : chains) {
+            const Sequence &oriented = chain.reverse ? rc : read;
+            results.push_back(extendChain(chain, oriented, ref_, engine,
+                                          config_.extension));
+        }
+        extension_watch.stop();
+
+        // --- Pick best + runner-up, traceback, SAM.
+        other_watch.start();
+        size_t best = 0;
+        int sub = 0;
+        for (size_t i = 1; i < results.size(); ++i) {
+            if (results[i].score > results[best].score) {
+                sub = results[best].score;
+                best = i;
+            } else {
+                sub = std::max(sub, results[i].score);
+            }
+        }
+        rec = buildSamRecord(name, read, results[best], sub, ref_,
+                             config_.extension.scoring);
+        other_watch.stop();
+
+        if (stats)
+            stats->extensions += engine_->calls() - calls_before;
+    }
+
+    if (stats) {
+        ++stats->reads;
+        stats->unmapped += !rec.mapped();
+        stats->times.seeding += seeding_watch.seconds();
+        stats->times.extension += extension_watch.seconds();
+        stats->times.other += other_watch.seconds();
+        if (auto *sx = dynamic_cast<SeedExEngine *>(engine_.get()))
+            stats->filter = sx->stats();
+    }
+    return rec;
+}
+
+std::vector<SamRecord>
+Aligner::alignBatch(
+    const std::vector<std::pair<std::string, Sequence>> &reads,
+    PipelineStats *stats, std::vector<ExtensionJob> *capture)
+{
+    std::vector<SamRecord> records;
+    records.reserve(reads.size());
+    for (const auto &[name, seq] : reads)
+        records.push_back(alignRead(name, seq, stats, capture));
+    return records;
+}
+
+} // namespace seedex

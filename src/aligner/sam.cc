@@ -1,0 +1,92 @@
+#include "aligner/sam.h"
+
+#include <algorithm>
+
+#include "align/dp.h"
+#include "util/table.h"
+
+namespace seedex {
+
+std::string
+SamRecord::render() const
+{
+    return strprintf("%s\t%d\t%s\t%llu\t%d\t%s\t%s\t%llu\t%lld\t%s"
+                     "\t*\tAS:i:%d\tXS:i:%d",
+                     qname.c_str(), flag, rname.c_str(),
+                     static_cast<unsigned long long>(pos + 1), mapq,
+                     cigar.toString().c_str(), rnext.c_str(),
+                     static_cast<unsigned long long>(
+                         rnext == "*" ? 0 : pnext + 1),
+                     static_cast<long long>(tlen), seq.c_str(), score,
+                     sub_score);
+}
+
+int
+approxMapq(int best, int second_best, const Scoring &scoring)
+{
+    if (best <= 0)
+        return 0;
+    const int sub = std::max(second_best, scoring.match * 10);
+    if (sub >= best)
+        return 0;
+    // BWA's mem_approx_mapq_se shape: proportional to the score gap,
+    // saturating at 60.
+    const double frac =
+        static_cast<double>(best - sub) / static_cast<double>(best);
+    return std::min(60, static_cast<int>(60.0 * frac + 0.4999) + 10);
+}
+
+SamRecord
+buildSamRecord(const std::string &name, const Sequence &read,
+               const ChainAlignment &best, int second_best,
+               const Sequence &reference, const Scoring &scoring)
+{
+    SamRecord rec;
+    rec.qname = name;
+    rec.rname = "ref";
+    rec.flag = best.reverse ? kSamFlagReverse : 0;
+    rec.pos = best.rbeg;
+    rec.score = best.score;
+    rec.sub_score = second_best;
+    rec.mapq = approxMapq(best.score, second_best, scoring);
+
+    const Sequence oriented =
+        best.reverse ? read.reverseComplement() : read;
+    rec.seq = oriented.toString();
+
+    // Host traceback between the extension endpoints. When neither
+    // extension ever left the main diagonal (max_off == 0) the optimal
+    // path is provably gap-free and the trace is a straight match run --
+    // the overwhelmingly common case on clean reads.
+    Cigar cigar;
+    cigar.push('S', best.qbeg);
+    const int qspan = best.qend - best.qbeg;
+    const int tspan = static_cast<int>(best.rend - best.rbeg);
+    if (best.max_off == 0 && qspan == tspan) {
+        cigar.push('M', qspan);
+    } else {
+        const Sequence q = oriented.slice(static_cast<size_t>(best.qbeg),
+                                          static_cast<size_t>(qspan));
+        const Sequence t =
+            reference.slice(best.rbeg, static_cast<size_t>(tspan));
+        const int band = std::abs(qspan - tspan) + 32;
+        const Alignment aln = globalAlignBanded(q, t, scoring, band);
+        for (const CigarOp &op : aln.cigar.ops())
+            cigar.push(op.op, op.len);
+    }
+    cigar.push('S', static_cast<int>(read.size()) - best.qend);
+    rec.cigar = cigar;
+    return rec;
+}
+
+SamRecord
+unmappedRecord(const std::string &name, const Sequence &read)
+{
+    SamRecord rec;
+    rec.qname = name;
+    rec.flag = kSamFlagUnmapped;
+    rec.seq = read.toString();
+    return rec;
+}
+
+} // namespace seedex

@@ -1,0 +1,71 @@
+#ifndef SEEDEX_ALIGNER_SAM_H
+#define SEEDEX_ALIGNER_SAM_H
+
+#include <string>
+
+#include "aligner/extension.h"
+#include "align/cigar.h"
+
+namespace seedex {
+
+/** SAM flag bits used by the single-end pipeline. */
+inline constexpr int kSamFlagUnmapped = 0x4;
+inline constexpr int kSamFlagReverse = 0x10;
+
+/** One single-end SAM alignment record. */
+struct SamRecord
+{
+    std::string qname;
+    int flag = kSamFlagUnmapped;
+    std::string rname = "*";
+    /** 0-based leftmost reference position (rendered 1-based). */
+    uint64_t pos = 0;
+    int mapq = 0;
+    Cigar cigar;
+    /** Mate fields (paired-end mode): RNEXT, 0-based PNEXT, TLEN. */
+    std::string rnext = "*";
+    uint64_t pnext = 0;
+    int64_t tlen = 0;
+    /** Sequence as stored (reverse-complemented for reverse strand). */
+    std::string seq;
+    /** Alignment score (AS tag) and suboptimal score (XS tag). */
+    int score = 0;
+    int sub_score = 0;
+
+    bool mapped() const { return (flag & kSamFlagUnmapped) == 0; }
+
+    /** Render one SAM line (no header). */
+    std::string render() const;
+
+    /** Alignment-content equality: what the paper's bit-equivalence
+     *  validation compares (Fig. 13). */
+    bool
+    sameAlignment(const SamRecord &other) const
+    {
+        return flag == other.flag && pos == other.pos &&
+               cigar == other.cigar && score == other.score;
+    }
+};
+
+/** BWA-flavored approximate single-end mapping quality. */
+int approxMapq(int best, int second_best, const Scoring &scoring);
+
+/**
+ * Build the final record for the winning chain: host-side traceback
+ * (banded global alignment between the extension endpoints) plus soft
+ * clips — the step the paper deliberately keeps on the CPU (§II, §V-B).
+ *
+ * @param read The read in sequencing orientation.
+ * @param best The winning chain alignment (oriented coordinates).
+ * @param second_best Score of the runner-up chain (0 if none).
+ */
+SamRecord buildSamRecord(const std::string &name, const Sequence &read,
+                         const ChainAlignment &best, int second_best,
+                         const Sequence &reference, const Scoring &scoring);
+
+/** An unmapped record for reads with no chains. */
+SamRecord unmappedRecord(const std::string &name, const Sequence &read);
+
+} // namespace seedex
+
+#endif // SEEDEX_ALIGNER_SAM_H

@@ -1,0 +1,42 @@
+#include "aligner/seeding.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+std::vector<Seed>
+collectSeeds(const FmdIndex &index, const Sequence &read,
+             const SeedingParams &params)
+{
+    std::vector<Seed> seeds;
+    const int n = static_cast<int>(read.size());
+    const auto smems =
+        collectSmems(index, read, params.min_seed_len);
+    for (const Smem &smem : smems) {
+        if (smem.interval.s > params.max_occurrences)
+            continue; // repeat-masked, as BWA skips high-frequency seeds
+        const auto hits = index.locate(smem.interval, params.max_hits,
+                                       static_cast<size_t>(smem.length()));
+        for (const FmdHit &hit : hits) {
+            Seed seed;
+            seed.len = smem.length();
+            seed.rbeg = hit.pos;
+            seed.reverse = hit.reverse;
+            seed.occurrences = smem.interval.s;
+            // Orient the query span: reverse-strand hits are spans of
+            // revcomp(read).
+            seed.qbeg = hit.reverse ? n - smem.qend : smem.qbeg;
+            seeds.push_back(seed);
+        }
+    }
+    std::sort(seeds.begin(), seeds.end(), [](const Seed &a, const Seed &b) {
+        if (a.reverse != b.reverse)
+            return !a.reverse;
+        if (a.rbeg != b.rbeg)
+            return a.rbeg < b.rbeg;
+        return a.qbeg < b.qbeg;
+    });
+    return seeds;
+}
+
+} // namespace seedex

@@ -1,0 +1,59 @@
+#ifndef SEEDEX_ALIGNER_SEEDING_H
+#define SEEDEX_ALIGNER_SEEDING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fmindex/fmd_index.h"
+#include "fmindex/smem.h"
+
+namespace seedex {
+
+/**
+ * One seed: an exact match between a read substring and the reference.
+ *
+ * Coordinates are *oriented*: qbeg indexes into the read as it aligns to
+ * the forward reference strand (i.e. into revcomp(read) for
+ * reverse-strand seeds), which is the frame the chainer and extender
+ * work in.
+ */
+struct Seed
+{
+    int qbeg = 0;
+    int len = 0;
+    uint64_t rbeg = 0;
+    bool reverse = false;
+    /** Total occurrences of the originating SMEM (repeat pressure). */
+    uint64_t occurrences = 0;
+
+    int qend() const { return qbeg + len; }
+    uint64_t rend() const { return rbeg + static_cast<uint64_t>(len); }
+    /** Diagonal (reference minus query position). */
+    int64_t diagonal() const
+    {
+        return static_cast<int64_t>(rbeg) - qbeg;
+    }
+};
+
+/** Seeding configuration (BWA-MEM-compatible defaults). */
+struct SeedingParams
+{
+    int min_seed_len = 19;
+    /** Skip SMEMs with more occurrences than this (repeat filter). */
+    uint64_t max_occurrences = 64;
+    /** Hits materialized per SMEM. */
+    size_t max_hits = 32;
+};
+
+/**
+ * Seeding stage: SMEM generation plus hit lookup, producing oriented
+ * seeds ready for chaining. This is the stage the ERT accelerator [35]
+ * speeds up; the pipeline model charges its time to the "seeding" bar of
+ * Fig. 17.
+ */
+std::vector<Seed> collectSeeds(const FmdIndex &index, const Sequence &read,
+                               const SeedingParams &params);
+
+} // namespace seedex
+
+#endif // SEEDEX_ALIGNER_SEEDING_H

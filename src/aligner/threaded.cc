@@ -1,0 +1,335 @@
+#include "aligner/threaded.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace seedex {
+
+namespace {
+
+/** One seeded read queued for the FPGA threads. */
+struct SeededRead
+{
+    size_t read_idx = 0;
+    const std::string *name = nullptr;
+    const Sequence *read = nullptr;
+    Sequence reverse_complement;
+    std::vector<Chain> chains;
+};
+
+/** Bounded MPMC queue (the producer-consumer hand-off of Fig. 12). */
+class SeededQueue
+{
+  public:
+    explicit SeededQueue(size_t capacity) : capacity_(capacity) {}
+
+    void
+    push(SeededRead item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock,
+                       [&] { return queue_.size() < capacity_; });
+        queue_.push_back(std::move(item));
+        not_empty_.notify_one();
+    }
+
+    /** Pop up to `max_items`; returns false when drained and closed. */
+    bool
+    popBatch(size_t max_items, std::vector<SeededRead> &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock,
+                        [&] { return !queue_.empty() || closed_; });
+        if (queue_.empty())
+            return false;
+        while (!queue_.empty() && out.size() < max_items) {
+            out.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        not_full_.notify_all();
+        return true;
+    }
+
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        not_empty_.notify_all();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable not_empty_, not_full_;
+    std::deque<SeededRead> queue_;
+    size_t capacity_;
+    bool closed_ = false;
+};
+
+/** One pending extension of a chain (left or right side). */
+struct PendingExtension
+{
+    size_t batch_slot = 0; ///< index into the batch's chain table
+    ExtensionJob job;
+};
+
+Sequence
+reversedSeq(const Sequence &s)
+{
+    std::vector<Base> b(s.bases().rbegin(), s.bases().rend());
+    return Sequence(std::move(b));
+}
+
+} // namespace
+
+std::vector<SamRecord>
+alignThreaded(const Sequence &reference,
+              const std::vector<std::pair<std::string, Sequence>> &reads,
+              const ThreadedConfig &config, ThreadedReport *report)
+{
+    const FmdIndex index(reference);
+    // The single FPGA: one accelerator instance behind a lock (§V-B:
+    // "an FPGA thread acquires a lock to control the FPGA state").
+    SeedExConfig filter_cfg = config.pipeline.seedex;
+    filter_cfg.band = config.pipeline.band;
+    filter_cfg.scoring = config.pipeline.extension.scoring;
+    const SeedExAccelerator device(config.organization, filter_cfg);
+    std::mutex fpga_lock;
+
+    std::vector<SamRecord> records(reads.size());
+    SeededQueue queue(config.batch_size * 4);
+    std::atomic<size_t> next_read{0};
+    std::atomic<uint64_t> extensions{0}, reruns{0}, batches{0},
+        device_cycles{0};
+
+    Stopwatch wall;
+    wall.start();
+
+    // ---- Producers: seeding + chaining.
+    auto seeding_worker = [&] {
+        for (;;) {
+            const size_t i = next_read.fetch_add(1);
+            if (i >= reads.size())
+                return;
+            SeededRead item;
+            item.read_idx = i;
+            item.name = &reads[i].first;
+            item.read = &reads[i].second;
+            const std::vector<Seed> seeds = collectSeeds(
+                index, *item.read, config.pipeline.seeding);
+            item.chains = chainSeeds(seeds, config.pipeline.chaining);
+            bool any_reverse = false;
+            for (const Chain &chain : item.chains)
+                any_reverse |= chain.reverse;
+            if (any_reverse)
+                item.reverse_complement = item.read->reverseComplement();
+            queue.push(std::move(item));
+        }
+    };
+
+    // ---- Consumers: FPGA threads (batch, extend, post-process).
+    const ExtensionParams &xp = config.pipeline.extension;
+    auto fpga_worker = [&] {
+        std::vector<SeededRead> batch;
+        for (;;) {
+            batch.clear();
+            if (!queue.popBatch(config.batch_size, batch))
+                return;
+            ++batches;
+
+            // Chain table for the whole batch.
+            struct Slot
+            {
+                const SeededRead *item;
+                const Chain *chain;
+                ChainAlignment aln;
+                int score;
+            };
+            std::vector<Slot> slots;
+            for (const SeededRead &item : batch) {
+                for (const Chain &chain : item.chains) {
+                    Slot slot;
+                    slot.item = &item;
+                    slot.chain = &chain;
+                    const Seed &anchor = chain.anchor();
+                    slot.aln.reverse = chain.reverse;
+                    slot.aln.seed_score = anchor.len * xp.scoring.match;
+                    slot.aln.qbeg = anchor.qbeg;
+                    slot.aln.qend = anchor.qend();
+                    slot.aln.rbeg = anchor.rbeg;
+                    slot.aln.rend = anchor.rend();
+                    slot.score = slot.aln.seed_score;
+                    slots.push_back(std::move(slot));
+                }
+            }
+
+            auto oriented = [&](const Slot &slot) -> const Sequence & {
+                return slot.chain->reverse
+                    ? slot.item->reverse_complement
+                    : *slot.item->read;
+            };
+
+            // Phase 1: package all left extensions.
+            std::vector<PendingExtension> pending;
+            for (size_t s = 0; s < slots.size(); ++s) {
+                const Seed &anchor = slots[s].chain->anchor();
+                if (anchor.qbeg == 0)
+                    continue;
+                PendingExtension p;
+                p.batch_slot = s;
+                p.job.query = reversedSeq(oriented(slots[s]).slice(
+                    0, static_cast<size_t>(anchor.qbeg)));
+                const uint64_t window = std::min<uint64_t>(
+                    anchor.rbeg, static_cast<uint64_t>(
+                                     anchor.qbeg + xp.window_slack));
+                p.job.target = reversedSeq(reference.slice(
+                    anchor.rbeg - window, static_cast<size_t>(window)));
+                p.job.h0 = slots[s].score;
+                pending.push_back(std::move(p));
+            }
+            auto run_batch = [&](std::vector<PendingExtension> &pend) {
+                std::vector<ExtensionJob> jobs;
+                jobs.reserve(pend.size());
+                for (PendingExtension &p : pend)
+                    jobs.push_back(p.job);
+                std::lock_guard<std::mutex> lock(fpga_lock);
+                BatchResult r = device.processBatch(jobs);
+                device_cycles += r.device_cycles;
+                extensions += jobs.size();
+                reruns += r.reruns_checks + r.reruns_exception;
+                return r;
+            };
+            if (!pending.empty()) {
+                const BatchResult left = run_batch(pending);
+                // Parse left results: clip decision + h0 update (§V-B).
+                for (size_t k = 0; k < pending.size(); ++k) {
+                    Slot &slot = slots[pending[k].batch_slot];
+                    const ExtendResult &r = left.results[k];
+                    const Seed &anchor = slot.chain->anchor();
+                    slot.aln.max_off =
+                        std::max(slot.aln.max_off, r.max_off);
+                    if (r.gscore <= 0 ||
+                        r.gscore < r.score - xp.end_bonus) {
+                        slot.score = r.score;
+                        slot.aln.qbeg = anchor.qbeg - r.qle;
+                        slot.aln.rbeg =
+                            anchor.rbeg - static_cast<uint64_t>(r.tle);
+                    } else {
+                        slot.score = r.gscore;
+                        slot.aln.qbeg = 0;
+                        slot.aln.rbeg =
+                            anchor.rbeg - static_cast<uint64_t>(r.gtle);
+                    }
+                }
+            }
+
+            // Phase 2: right extensions seeded with the updated score.
+            pending.clear();
+            for (size_t s = 0; s < slots.size(); ++s) {
+                Slot &slot = slots[s];
+                const Seed &anchor = slot.chain->anchor();
+                const int n =
+                    static_cast<int>(oriented(slot).size());
+                if (anchor.qend() >= n)
+                    continue;
+                const int remain = n - anchor.qend();
+                PendingExtension p;
+                p.batch_slot = s;
+                p.job.query = oriented(slot).slice(
+                    static_cast<size_t>(anchor.qend()),
+                    static_cast<size_t>(remain));
+                const uint64_t avail = reference.size() -
+                    std::min<uint64_t>(reference.size(), anchor.rend());
+                const uint64_t window = std::min<uint64_t>(
+                    avail,
+                    static_cast<uint64_t>(remain + xp.window_slack));
+                p.job.target = reference.slice(
+                    anchor.rend(), static_cast<size_t>(window));
+                p.job.h0 = slot.score;
+                pending.push_back(std::move(p));
+            }
+            if (!pending.empty()) {
+                const BatchResult right = run_batch(pending);
+                for (size_t k = 0; k < pending.size(); ++k) {
+                    Slot &slot = slots[pending[k].batch_slot];
+                    const ExtendResult &r = right.results[k];
+                    const Seed &anchor = slot.chain->anchor();
+                    const int n =
+                        static_cast<int>(oriented(slot).size());
+                    slot.aln.max_off =
+                        std::max(slot.aln.max_off, r.max_off);
+                    if (r.gscore <= 0 ||
+                        r.gscore < r.score - xp.end_bonus) {
+                        slot.score = r.score;
+                        slot.aln.qend = anchor.qend() + r.qle;
+                        slot.aln.rend =
+                            anchor.rend() + static_cast<uint64_t>(r.tle);
+                    } else {
+                        slot.score = r.gscore;
+                        slot.aln.qend = n;
+                        slot.aln.rend = anchor.rend() +
+                                        static_cast<uint64_t>(r.gtle);
+                    }
+                }
+            }
+
+            // Post-processing: best chain per read, traceback, SAM.
+            size_t s = 0;
+            for (const SeededRead &item : batch) {
+                if (item.chains.empty()) {
+                    records[item.read_idx] =
+                        unmappedRecord(*item.name, *item.read);
+                    continue;
+                }
+                size_t best = s;
+                int sub = 0;
+                for (size_t c = 1; c < item.chains.size(); ++c) {
+                    if (slots[s + c].score > slots[best].score) {
+                        sub = slots[best].score;
+                        best = s + c;
+                    } else {
+                        sub = std::max(sub, slots[s + c].score);
+                    }
+                }
+                slots[best].aln.score = slots[best].score;
+                records[item.read_idx] =
+                    buildSamRecord(*item.name, *item.read,
+                                   slots[best].aln, sub, reference,
+                                   xp.scoring);
+                s += item.chains.size();
+            }
+        }
+    };
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < config.fpga_threads; ++t)
+        workers.emplace_back(fpga_worker);
+    {
+        std::vector<std::thread> producers;
+        for (int t = 0; t < config.seeding_threads; ++t)
+            producers.emplace_back(seeding_worker);
+        for (std::thread &t : producers)
+            t.join();
+        queue.close();
+    }
+    for (std::thread &t : workers)
+        t.join();
+    wall.stop();
+
+    if (report) {
+        report->wall_seconds = wall.seconds();
+        report->reads = reads.size();
+        report->batches = batches;
+        report->extensions = extensions;
+        report->reruns = reruns;
+        report->device_cycles = device_cycles;
+    }
+    return records;
+}
+
+} // namespace seedex

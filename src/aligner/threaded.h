@@ -1,0 +1,58 @@
+#ifndef SEEDEX_ALIGNER_THREADED_H
+#define SEEDEX_ALIGNER_THREADED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "aligner/pipeline.h"
+#include "hw/accelerator.h"
+
+namespace seedex {
+
+/**
+ * The software architecture of Fig. 12 (§V-B): seeding threads perform
+ * seeding and chaining and queue batched chains for FPGA threads; FPGA
+ * threads package extension jobs, acquire the device lock, push a batch
+ * through the accelerator, parse results (updating the initial score of
+ * right extensions with the left-extension outcome "in the middle of
+ * parsing left extension results"), handle the rerun tail, and emit SAM
+ * records. Results are produced out of order and reassembled by read id.
+ */
+struct ThreadedConfig
+{
+    /** Producer threads (the paper allocates most threads here). */
+    int seeding_threads = 3;
+    /** Consumer threads driving the FPGA (load-balancing knob, §V-B). */
+    int fpga_threads = 2;
+    /** Reads per FPGA batch. */
+    size_t batch_size = 64;
+    PipelineConfig pipeline;
+    AcceleratorOrganization organization;
+};
+
+/** Telemetry of one threaded run. */
+struct ThreadedReport
+{
+    double wall_seconds = 0;
+    uint64_t reads = 0;
+    uint64_t batches = 0;
+    uint64_t extensions = 0;
+    uint64_t reruns = 0;
+    /** Modeled FPGA occupancy summed over batches. */
+    uint64_t device_cycles = 0;
+};
+
+/**
+ * Align a read set with the producer-consumer pipeline. Output records
+ * are in input order and bit-identical to the single-threaded
+ * full-band pipeline (the test suite checks both).
+ */
+std::vector<SamRecord>
+alignThreaded(const Sequence &reference,
+              const std::vector<std::pair<std::string, Sequence>> &reads,
+              const ThreadedConfig &config,
+              ThreadedReport *report = nullptr);
+
+} // namespace seedex
+
+#endif // SEEDEX_ALIGNER_THREADED_H

@@ -1,0 +1,59 @@
+#include "aligner/timing_model.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+std::vector<EndToEndBar>
+buildFig17(const EndToEndInputs &in, const BwaMemCalibration &calib)
+{
+    // Accelerated extension stage: FPGA occupancy, plus host reruns that
+    // exceed the overlap window.
+    const double accel_ext =
+        in.seedex_device_seconds +
+        std::max(0.0, in.rerun_seconds - in.seedex_device_seconds);
+
+    const StageTimes mem2 = in.software;
+    StageTimes mem1;
+    mem1.seeding = mem2.seeding * calib.seeding;
+    mem1.extension = mem2.extension * calib.extension;
+    mem1.other = mem2.other * calib.other;
+
+    auto bar = [](std::string name, double s, double e, double o) {
+        EndToEndBar b;
+        b.config = std::move(name);
+        b.seeding = s;
+        b.extension = e;
+        b.other = o;
+        return b;
+    };
+
+    std::vector<EndToEndBar> bars;
+    bars.push_back(bar("BWA-MEM", mem1.seeding, mem1.extension,
+                       mem1.other));
+    bars.push_back(bar("BWA-MEM + SeedEx", mem1.seeding, accel_ext,
+                       mem1.other));
+    bars.push_back(bar("BWA-MEM + Seeding + SeedEx",
+                       mem1.seeding / in.seeding_accel_factor, accel_ext,
+                       mem1.other));
+    bars.push_back(bar("BWA-MEM2", mem2.seeding, mem2.extension,
+                       mem2.other));
+    bars.push_back(bar("BWA-MEM2 + SeedEx", mem2.seeding, accel_ext,
+                       mem2.other));
+    bars.push_back(bar("BWA-MEM2 + Seeding + SeedEx",
+                       mem2.seeding / in.seeding_accel_factor, accel_ext,
+                       mem2.other));
+
+    // Normalize to the BWA-MEM total.
+    const double base = bars.front().total();
+    if (base > 0) {
+        for (EndToEndBar &b : bars) {
+            b.seeding /= base;
+            b.extension /= base;
+            b.other /= base;
+        }
+    }
+    return bars;
+}
+
+} // namespace seedex

@@ -1,0 +1,124 @@
+#include "apps/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace seedex {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double
+localCost(double x, double y)
+{
+    return std::fabs(x - y);
+}
+
+} // namespace
+
+DtwResult
+dtwFull(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return dtwBanded(a, b,
+                     static_cast<int>(a.size() + b.size()) + 1);
+}
+
+DtwResult
+dtwBanded(const std::vector<double> &a, const std::vector<double> &b,
+          int window)
+{
+    DtwResult res;
+    const int n = static_cast<int>(a.size());
+    const int m = static_cast<int>(b.size());
+    if (n == 0 || m == 0) {
+        res.infeasible = n != m;
+        return res;
+    }
+    if (window < std::abs(n - m)) {
+        res.infeasible = true;
+        res.cost = kInf;
+        return res;
+    }
+
+    std::vector<double> prev(static_cast<size_t>(m), kInf);
+    std::vector<double> cur(static_cast<size_t>(m), kInf);
+    for (int i = 0; i < n; ++i) {
+        const int lo = std::max(0, i - window);
+        const int hi = std::min(m - 1, i + window);
+        std::fill(cur.begin() + lo, cur.begin() + hi + 1, kInf);
+        for (int j = lo; j <= hi; ++j) {
+            ++res.cells;
+            double best;
+            if (i == 0 && j == 0) {
+                best = 0;
+            } else {
+                best = kInf;
+                if (i > 0)
+                    best = std::min(best, prev[j]); // vertical
+                if (j > 0)
+                    best = std::min(best, cur[j - 1]); // horizontal
+                if (i > 0 && j > 0)
+                    best = std::min(best, prev[j - 1]); // diagonal
+            }
+            cur[j] = best + localCost(a[i], b[j]);
+        }
+        std::swap(prev, cur);
+    }
+    res.cost = prev[m - 1];
+    res.infeasible = !std::isfinite(res.cost);
+    return res;
+}
+
+double
+dtwOutsideLowerBound(const std::vector<double> &a,
+                     const std::vector<double> &b, int window)
+{
+    const int n = static_cast<int>(a.size());
+    const int m = static_cast<int>(b.size());
+    if (n == 0 || m == 0)
+        return kInf;
+
+    // base(j): cheapest pairing of column j with any row; out(j): cheapest
+    // pairing outside the window.
+    double base_sum = 0;
+    double best_excess = kInf;
+    for (int j = 0; j < m; ++j) {
+        double base = kInf, outside = kInf;
+        for (int i = 0; i < n; ++i) {
+            const double c = localCost(a[i], b[j]);
+            base = std::min(base, c);
+            if (std::abs(i - j) > window)
+                outside = std::min(outside, c);
+        }
+        base_sum += base;
+        best_excess = std::min(best_excess, outside - base);
+    }
+    if (!std::isfinite(best_excess))
+        return kInf; // no cell outside the window: nothing to leave to
+    return base_sum + best_excess;
+}
+
+DtwCheckedResult
+dtwChecked(const std::vector<double> &a, const std::vector<double> &b,
+           int window)
+{
+    DtwCheckedResult out;
+    out.result = dtwBanded(a, b, window);
+    out.outside_lower_bound = dtwOutsideLowerBound(a, b, window);
+    // Minimization: the windowed cost is optimal if no band-leaving path
+    // can possibly undercut it (strictness is unnecessary for cost
+    // equality, ties are still the optimal cost).
+    out.guaranteed = !out.result.infeasible &&
+                     out.result.cost <= out.outside_lower_bound;
+    if (!out.guaranteed) {
+        out.rerun = true;
+        const uint64_t speculated = out.result.cells;
+        out.result = dtwFull(a, b);
+        out.result.cells += speculated;
+    }
+    return out;
+}
+
+} // namespace seedex

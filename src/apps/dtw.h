@@ -1,0 +1,74 @@
+#ifndef SEEDEX_APPS_DTW_H
+#define SEEDEX_APPS_DTW_H
+
+#include <cstdint>
+#include <vector>
+
+namespace seedex {
+
+/**
+ * Dynamic Time Warping with a Sakoe-Chiba window and a SeedEx-style
+ * speculation-and-test optimality check (§VII-D "Other Applications":
+ * DTW's fixed time window is "conceptually similar to the banded version
+ * of the Needleman-Wunsch algorithm. Our proposed scheme is helpful to
+ * guarantee optimality even with small time windows").
+ *
+ * DTW is a *minimization* problem, so the check logic mirrors SeedEx
+ * with the inequalities flipped: instead of upper-bounding the best
+ * score outside the band, we lower-bound the cheapest cost any
+ * band-leaving warping path could achieve; a windowed cost at or below
+ * that bound is provably optimal.
+ */
+struct DtwResult
+{
+    double cost = 0;
+    /** Cells evaluated (the compute the window saves). */
+    uint64_t cells = 0;
+    /** True if the window admitted no path (|len diff| > window). */
+    bool infeasible = false;
+};
+
+/** Full O(N*M) DTW with |a_i - b_j| local cost and unit steps. */
+DtwResult dtwFull(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Sakoe-Chiba banded DTW: only cells with |i - j| <= window computed. */
+DtwResult dtwBanded(const std::vector<double> &a,
+                    const std::vector<double> &b, int window);
+
+/**
+ * Lower bound on the cost of any warping path that leaves the window
+ * (visits a cell with |i - j| > window).
+ *
+ * Derivation: every warping path visits at least one cell in each column
+ * j, paying at least base(j) = min_i |a_i - b_j| there; a band-leaving
+ * path additionally has some column j* whose visited cell lies outside
+ * the window, where it pays at least out(j*) = min_{|i-j*|>window}
+ * |a_i - b_j*| instead of base(j*). Minimizing over the unknown exit
+ * column gives
+ *   LB_outside = sum_j base(j) + min_j (out(j) - base(j)),
+ * which never overestimates any band-leaving path's true cost.
+ */
+double dtwOutsideLowerBound(const std::vector<double> &a,
+                            const std::vector<double> &b, int window);
+
+/** Outcome of the speculative windowed DTW. */
+struct DtwCheckedResult
+{
+    DtwResult result;
+    double outside_lower_bound = 0;
+    /** True if the windowed cost is proven optimal. */
+    bool guaranteed = false;
+    /** True if the full-matrix rerun was needed (check failed). */
+    bool rerun = false;
+};
+
+/**
+ * Speculate on the window, test with the outside lower bound, rerun on
+ * failure: the returned cost always equals dtwFull's.
+ */
+DtwCheckedResult dtwChecked(const std::vector<double> &a,
+                            const std::vector<double> &b, int window);
+
+} // namespace seedex
+
+#endif // SEEDEX_APPS_DTW_H

@@ -1,0 +1,87 @@
+#include "apps/lcs.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace seedex {
+
+LcsResult
+lcsFull(std::string_view a, std::string_view b)
+{
+    return lcsBanded(a, b,
+                     static_cast<int>(a.size() + b.size()) + 1);
+}
+
+LcsResult
+lcsBanded(std::string_view a, std::string_view b, int window)
+{
+    LcsResult res;
+    const int n = static_cast<int>(a.size());
+    const int m = static_cast<int>(b.size());
+    if (n == 0 || m == 0)
+        return res;
+
+    // Cells outside the band behave as "unreachable": use a very small
+    // value so max() never picks them, but subtraction stays safe.
+    constexpr int kDead = std::numeric_limits<int>::min() / 4;
+    std::vector<int> prev(static_cast<size_t>(m) + 1, kDead);
+    std::vector<int> cur(static_cast<size_t>(m) + 1, kDead);
+    int best = 0; // trailing unmatched chars are free: track the max
+    // Row -1 (empty prefix of a): length 0 wherever the band allows
+    // starting.
+    for (int j = 0; j <= m && j <= window + 1; ++j)
+        prev[j] = 0;
+
+    for (int i = 1; i <= n; ++i) {
+        const int lo = std::max(1, i - window);
+        const int hi = std::min(m, i + window);
+        if (lo > hi)
+            break; // rows beyond the band's reach cannot add matches
+        std::fill(cur.begin() + lo - 1, cur.begin() + hi + 1, kDead);
+        if (lo == 1)
+            cur[0] = 0; // empty prefix of b
+        for (int j = lo; j <= hi; ++j) {
+            ++res.cells;
+            int best_cell = std::max(prev[j], cur[j - 1]);
+            const int diag =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 1 : 0);
+            best_cell = std::max(best_cell, diag);
+            cur[j] = best_cell;
+            best = std::max(best, best_cell);
+        }
+        std::swap(prev, cur);
+    }
+    res.length = best;
+    return res;
+}
+
+int
+lcsOutsideUpperBound(int a_len, int b_len, int window)
+{
+    // No out-of-band cell at all: nothing can leave the band.
+    if (window >= std::max(a_len, b_len))
+        return std::numeric_limits<int>::min() / 4;
+    const int via_a = std::min(a_len - window - 1, b_len);
+    const int via_b = std::min(b_len - window - 1, a_len);
+    return std::max(via_a, via_b);
+}
+
+LcsCheckedResult
+lcsChecked(std::string_view a, std::string_view b, int window)
+{
+    LcsCheckedResult out;
+    out.result = lcsBanded(a, b, window);
+    out.outside_upper_bound = lcsOutsideUpperBound(
+        static_cast<int>(a.size()), static_cast<int>(b.size()), window);
+    out.guaranteed = out.result.length >= out.outside_upper_bound;
+    if (!out.guaranteed) {
+        out.rerun = true;
+        const uint64_t speculated = out.result.cells;
+        out.result = lcsFull(a, b);
+        out.result.cells += speculated;
+    }
+    return out;
+}
+
+} // namespace seedex

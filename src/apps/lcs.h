@@ -1,0 +1,55 @@
+#ifndef SEEDEX_APPS_LCS_H
+#define SEEDEX_APPS_LCS_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace seedex {
+
+/**
+ * Longest Common Subsequence with a diagonal band and a SeedEx-style
+ * optimality check (§VII-D: "LCS ... can also be solved with a similar
+ * dynamic programming algorithm").
+ *
+ * The check is the maximization analogue of the SeedEx thresholds: a
+ * common subsequence that ever pairs positions further than `window`
+ * apart must skip at least window+1 characters of the longer prefix, so
+ * its length is bounded by
+ *   L_out = max(min(N - window - 1, M), min(M - window - 1, N)).
+ * Every all-in-band subsequence is found by the banded DP (monotone
+ * paths between in-band pairs can stay between their diagonals), so a
+ * banded result >= L_out is provably the true LCS length.
+ */
+struct LcsResult
+{
+    int length = 0;
+    uint64_t cells = 0;
+};
+
+/** Full O(N*M) LCS length (linear space). */
+LcsResult lcsFull(std::string_view a, std::string_view b);
+
+/** Banded LCS length: only cells with |i - j| <= window computed. */
+LcsResult lcsBanded(std::string_view a, std::string_view b, int window);
+
+/** Upper bound on any band-leaving common subsequence's length
+ *  (INT_MIN-ish negative when no cell lies outside the band). */
+int lcsOutsideUpperBound(int a_len, int b_len, int window);
+
+/** Outcome of the speculative banded LCS. */
+struct LcsCheckedResult
+{
+    LcsResult result;
+    int outside_upper_bound = 0;
+    bool guaranteed = false;
+    bool rerun = false;
+};
+
+/** Speculate on the band, test, rerun on failure; the returned length
+ *  always equals lcsFull's. */
+LcsCheckedResult lcsChecked(std::string_view a, std::string_view b,
+                            int window);
+
+} // namespace seedex
+
+#endif // SEEDEX_APPS_LCS_H

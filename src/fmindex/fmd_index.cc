@@ -1,0 +1,204 @@
+#include "fmindex/fmd_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fmindex/suffix_array.h"
+
+namespace seedex {
+
+namespace {
+
+/** Complement in the shifted alphabet (1=A .. 4=T); $ maps to itself. */
+inline uint8_t
+compShifted(uint8_t c)
+{
+    return c == 0 ? 0 : static_cast<uint8_t>(5 - c);
+}
+
+} // namespace
+
+FmdIndex::FmdIndex(const Sequence &reference)
+{
+    ref_len_ = reference.size();
+    if (ref_len_ == 0)
+        throw std::runtime_error("FmdIndex: empty reference");
+
+    // Index text: forward strand then reverse complement, shifted to
+    // 1..4 ($ = 0 is appended conceptually as the final sentinel).
+    const uint64_t L = ref_len_;
+    std::vector<uint8_t> text(2 * L);
+    for (uint64_t i = 0; i < L; ++i) {
+        const Base b = reference[i] < kNumBases ? reference[i] : kBaseA;
+        text[i] = static_cast<uint8_t>(b + 1);
+        text[2 * L - 1 - i] = static_cast<uint8_t>(complement(b) + 1);
+    }
+    text_len_ = 2 * L + 1;
+
+    const std::vector<int32_t> sa = buildSuffixArray(text);
+
+    // Full BWT including the sentinel row at rank 0 (suffix "$").
+    bwt_.resize(text_len_);
+    sa_samples_.assign((text_len_ + kSaStep - 1) / kSaStep, 0);
+    auto record = [&](uint64_t rank, uint64_t pos) {
+        if (rank % kSaStep == 0)
+            sa_samples_[rank / kSaStep] = static_cast<int32_t>(pos);
+    };
+    bwt_[0] = text[2 * L - 1];
+    record(0, 2 * L); // the sentinel position
+    for (uint64_t r = 0; r < 2 * L; ++r) {
+        const uint64_t pos = static_cast<uint64_t>(sa[r]);
+        const uint64_t rank = r + 1;
+        bwt_[rank] = pos == 0 ? 0 : text[pos - 1];
+        if (pos == 0)
+            primary_ = rank;
+        record(rank, pos);
+    }
+
+    // C array: counts_[c] = number of symbols < c.
+    uint64_t hist[5] = {};
+    for (uint8_t c : bwt_)
+        ++hist[c];
+    counts_[0] = 0;
+    for (int c = 1; c <= 5; ++c)
+        counts_[c] = counts_[c - 1] + hist[c - 1];
+
+    // Occ checkpoints.
+    const uint64_t blocks = text_len_ / kOccStep + 1;
+    occ_checkpoints_.assign(blocks * 5, 0);
+    uint64_t running[5] = {};
+    for (uint64_t i = 0; i < text_len_; ++i) {
+        if (i % kOccStep == 0) {
+            for (int c = 0; c < 5; ++c)
+                occ_checkpoints_[(i / kOccStep) * 5 + c] = running[c];
+        }
+        ++running[bwt_[i]];
+    }
+}
+
+uint64_t
+FmdIndex::occ(uint8_t c, uint64_t i) const
+{
+    const uint64_t block = i / kOccStep;
+    uint64_t n = occ_checkpoints_[block * 5 + c];
+    for (uint64_t j = block * kOccStep; j < i; ++j)
+        n += bwt_[j] == c;
+    return n;
+}
+
+void
+FmdIndex::occAll(uint64_t i, uint64_t out[5]) const
+{
+    const uint64_t block = i / kOccStep;
+    for (int c = 0; c < 5; ++c)
+        out[c] = occ_checkpoints_[block * 5 + c];
+    for (uint64_t j = block * kOccStep; j < i; ++j)
+        ++out[bwt_[j]];
+}
+
+FmdInterval
+FmdIndex::init(Base c) const
+{
+    if (c >= kNumBases)
+        return {};
+    const uint8_t sc = static_cast<uint8_t>(c + 1);
+    const uint8_t rc = compShifted(sc);
+    FmdInterval iv;
+    iv.k = counts_[sc];
+    iv.l = counts_[rc];
+    iv.s = counts_[sc + 1] - counts_[sc];
+    return iv;
+}
+
+FmdInterval
+FmdIndex::extend(const FmdInterval &in, Base c, bool back) const
+{
+    if (c >= kNumBases || in.empty())
+        return {};
+    if (!back) {
+        // Forward extension: backward-extend the reverse-complement view.
+        FmdInterval swapped{in.l, in.k, in.s, in.info};
+        FmdInterval out = extend(swapped, complement(c), true);
+        return {out.l, out.k, out.s, in.info};
+    }
+    uint64_t tk[5], tl[5];
+    occAll(in.k, tk);
+    occAll(in.k + in.s, tl);
+    uint64_t size[5];
+    for (int b = 0; b < 5; ++b)
+        size[b] = tl[b] - tk[b];
+    // New l values accumulate in complement order: $, T, G, C, A.
+    uint64_t l_new[5];
+    l_new[4] = in.l + size[0];              // T after the sentinel block
+    l_new[3] = l_new[4] + size[4];          // G after T
+    l_new[2] = l_new[3] + size[3];          // C after G
+    l_new[1] = l_new[2] + size[2];          // A after C
+    l_new[0] = in.l;                        // unused ($)
+    const uint8_t sc = static_cast<uint8_t>(c + 1);
+    FmdInterval out;
+    out.k = counts_[sc] + tk[sc];
+    out.l = l_new[sc];
+    out.s = size[sc];
+    out.info = in.info;
+    return out;
+}
+
+uint64_t
+FmdIndex::suffixToText(uint64_t rank) const
+{
+    uint64_t steps = 0;
+    uint64_t j = rank;
+    while (j % kSaStep != 0) {
+        const uint8_t c = bwt_[j];
+        if (c == 0)
+            return steps; // reached the row of suffix 0
+        j = counts_[c] + occ(c, j);
+        ++steps;
+    }
+    return static_cast<uint64_t>(sa_samples_[j / kSaStep]) + steps;
+}
+
+std::vector<FmdHit>
+FmdIndex::locate(const FmdInterval &interval, size_t max_hits,
+                 size_t pattern_len) const
+{
+    std::vector<FmdHit> hits;
+    const uint64_t n = std::min<uint64_t>(interval.s, max_hits);
+    const uint64_t L = ref_len_;
+    for (uint64_t r = 0; r < n; ++r) {
+        const uint64_t pos = suffixToText(interval.k + r);
+        FmdHit hit;
+        if (pos < L) {
+            hit.pos = pos;
+            hit.reverse = false;
+        } else {
+            hit.pos = 2 * L - pos - pattern_len;
+            hit.reverse = true;
+        }
+        hits.push_back(hit);
+    }
+    return hits;
+}
+
+FmdInterval
+FmdIndex::match(const Sequence &pattern) const
+{
+    if (pattern.empty())
+        return {};
+    FmdInterval iv = init(pattern[pattern.size() - 1]);
+    for (size_t i = pattern.size() - 1; i-- > 0;) {
+        iv = extend(iv, pattern[i], true);
+        if (iv.empty())
+            return {};
+    }
+    return iv;
+}
+
+size_t
+FmdIndex::storageBytes() const
+{
+    return bwt_.size() + occ_checkpoints_.size() * sizeof(uint64_t) +
+           sa_samples_.size() * sizeof(int32_t);
+}
+
+} // namespace seedex

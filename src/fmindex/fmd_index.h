@@ -1,0 +1,100 @@
+#ifndef SEEDEX_FMINDEX_FMD_INDEX_H
+#define SEEDEX_FMINDEX_FMD_INDEX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/sequence.h"
+
+namespace seedex {
+
+/**
+ * A bidirectional suffix-array interval (Li 2012, the FMD-index).
+ *
+ * `k` is the start of the interval of pattern W in the index text,
+ * `l` the start of the interval of revcomp(W), and `s` the shared size.
+ * `info` carries the query end position during SMEM generation (mirrors
+ * bwtintv_t.info in BWA).
+ */
+struct FmdInterval
+{
+    uint64_t k = 0;
+    uint64_t l = 0;
+    uint64_t s = 0;
+    uint64_t info = 0;
+
+    bool empty() const { return s == 0; }
+    bool operator==(const FmdInterval &) const = default;
+};
+
+/** One mapped occurrence of a pattern. */
+struct FmdHit
+{
+    /** Position on the forward reference strand. */
+    uint64_t pos = 0;
+    /** True if the occurrence is on the reverse-complement strand. */
+    bool reverse = false;
+};
+
+/**
+ * FMD-index: an FM-index over the concatenation of the reference and its
+ * reverse complement, supporting O(1) bidirectional extension — the data
+ * structure behind BWA-MEM's SMEM seeding (and the one ERT accelerates).
+ *
+ * Alphabet: $ < A < C < G < T (codes shift by one internally); N bases
+ * must be resolved before construction (PackedSequence semantics).
+ */
+class FmdIndex
+{
+  public:
+    /** Build from a reference (codes 0..3; N collapses to A). */
+    explicit FmdIndex(const Sequence &reference);
+
+    /** Reference length L (the index text is 2L+... with both strands). */
+    uint64_t referenceLength() const { return ref_len_; }
+
+    /** Interval of the empty pattern extended by base c (the seed of any
+     *  search). */
+    FmdInterval init(Base c) const;
+
+    /**
+     * Extend interval `in` by base c.
+     * @param back true: prepend c to the pattern (backward extension);
+     *             false: append c (forward extension, implemented on the
+     *             reverse-complement interval).
+     */
+    FmdInterval extend(const FmdInterval &in, Base c, bool back) const;
+
+    /** All positions of the interval's occurrences (<= max_hits). */
+    std::vector<FmdHit> locate(const FmdInterval &interval,
+                               size_t max_hits,
+                               size_t pattern_len) const;
+
+    /** Exact-match interval of a whole pattern (backward search). */
+    FmdInterval match(const Sequence &pattern) const;
+
+    /** Bytes used by the index structures (models the memory-bandwidth
+     *  discussion of §VIII). */
+    size_t storageBytes() const;
+
+  private:
+    uint64_t occ(uint8_t c, uint64_t i) const;
+    void occAll(uint64_t i, uint64_t out[5]) const;
+    uint64_t suffixToText(uint64_t rank) const;
+
+    uint64_t ref_len_ = 0;
+    uint64_t text_len_ = 0; ///< 2 * ref_len_ + 1 (with sentinel)
+    std::vector<uint8_t> bwt_; ///< BWT symbols in 0..4 ($=0, A=1, ...)
+    uint64_t primary_ = 0; ///< BWT row whose suffix is the whole text
+    uint64_t counts_[6] = {}; ///< C array (cumulative symbol counts)
+    /** Occ checkpoints every kOccStep symbols, 5 counters each. */
+    static constexpr uint64_t kOccStep = 64;
+    std::vector<uint64_t> occ_checkpoints_;
+    /** Sampled suffix array (every kSaStep ranks). */
+    static constexpr uint64_t kSaStep = 8;
+    std::vector<int32_t> sa_samples_;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_FMINDEX_FMD_INDEX_H

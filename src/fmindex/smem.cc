@@ -1,0 +1,105 @@
+#include "fmindex/smem.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+namespace {
+
+/**
+ * Compute all SMEMs covering query position x; returns the position at
+ * which the next sweep should start (one past the longest match from x).
+ * A port of BWA's bwt_smem1 over our FmdIndex.
+ */
+int
+smem1(const FmdIndex &index, const Sequence &query, int x,
+      uint64_t min_intv, std::vector<Smem> &out)
+{
+    const int len = static_cast<int>(query.size());
+    if (query[x] >= kNumBases)
+        return x + 1; // ambiguous base: no match covers it
+
+    std::vector<FmdInterval> curr, prev;
+    FmdInterval ik = index.init(query[x]);
+    ik.info = static_cast<uint64_t>(x) + 1;
+
+    // Forward sweep: grow [x, i) and record every interval-size drop.
+    int i;
+    for (i = x + 1; i < len; ++i) {
+        if (query[i] >= kNumBases) {
+            curr.push_back(ik);
+            break;
+        }
+        const FmdInterval ok = index.extend(ik, query[i], false);
+        if (ok.s != ik.s) {
+            curr.push_back(ik);
+            if (ok.s < min_intv)
+                break;
+        }
+        ik = ok;
+        ik.info = static_cast<uint64_t>(i) + 1;
+    }
+    if (i == len)
+        curr.push_back(ik);
+    // Visit longer matches (smaller intervals) first.
+    std::reverse(curr.begin(), curr.end());
+    const int ret = static_cast<int>(curr.front().info);
+    std::swap(curr, prev);
+
+    // Backward shrink: prepend characters; whenever an interval can no
+    // longer grow leftwards, its longest survivor is an SMEM.
+    for (i = x - 1; i >= -1; --i) {
+        const Base c = i < 0 ? kBaseN : query[i];
+        curr.clear();
+        for (const FmdInterval &p : prev) {
+            FmdInterval ok;
+            if (c < kNumBases)
+                ok = index.extend(p, c, true);
+            if (c >= kNumBases || ok.s < min_intv) {
+                if (curr.empty()) {
+                    const int qend = static_cast<int>(p.info);
+                    if (out.empty() || i + 1 < out.back().qbeg) {
+                        Smem smem;
+                        smem.qbeg = i + 1;
+                        smem.qend = qend;
+                        smem.interval = p;
+                        out.push_back(smem);
+                    }
+                }
+                // Otherwise this match is contained in a longer one.
+            } else if (curr.empty() || ok.s != curr.back().s) {
+                ok.info = p.info;
+                curr.push_back(ok);
+            }
+        }
+        if (curr.empty())
+            break;
+        std::swap(curr, prev);
+    }
+    return ret;
+}
+
+} // namespace
+
+std::vector<Smem>
+collectSmems(const FmdIndex &index, const Sequence &query, int min_seed_len,
+             uint64_t min_intv)
+{
+    std::vector<Smem> all;
+    const int len = static_cast<int>(query.size());
+    int x = 0;
+    while (x < len) {
+        std::vector<Smem> here;
+        x = smem1(index, query, x, min_intv, here);
+        for (const Smem &smem : here) {
+            if (smem.length() >= min_seed_len)
+                all.push_back(smem);
+        }
+    }
+    std::sort(all.begin(), all.end(), [](const Smem &a, const Smem &b) {
+        return a.qbeg != b.qbeg ? a.qbeg < b.qbeg : a.qend < b.qend;
+    });
+    return all;
+}
+
+} // namespace seedex

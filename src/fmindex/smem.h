@@ -1,0 +1,37 @@
+#ifndef SEEDEX_FMINDEX_SMEM_H
+#define SEEDEX_FMINDEX_SMEM_H
+
+#include <vector>
+
+#include "fmindex/fmd_index.h"
+
+namespace seedex {
+
+/** A supermaximal exact match of a query against the index. */
+struct Smem
+{
+    /** Query span [qbeg, qend). */
+    int qbeg = 0;
+    int qend = 0;
+    /** Bidirectional interval of the match (s = occurrence count). */
+    FmdInterval interval;
+
+    int length() const { return qend - qbeg; }
+};
+
+/**
+ * SMEM generation, the seeding algorithm of BWA-MEM (and the workload ERT
+ * accelerates): for each query position, find all supermaximal exact
+ * matches covering it via forward extension followed by a backward
+ * shrink pass (Li 2012 / bwt_smem1).
+ *
+ * @param min_seed_len Discard SMEMs shorter than this (BWA default 19).
+ * @param min_intv Minimum interval size to keep extending (default 1).
+ */
+std::vector<Smem> collectSmems(const FmdIndex &index, const Sequence &query,
+                               int min_seed_len = 19,
+                               uint64_t min_intv = 1);
+
+} // namespace seedex
+
+#endif // SEEDEX_FMINDEX_SMEM_H

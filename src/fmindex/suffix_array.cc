@@ -1,0 +1,182 @@
+#include "fmindex/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace seedex {
+
+namespace {
+
+/**
+ * Canonical SA-IS over an integer string `s` of length n whose last
+ * symbol is a unique smallest sentinel (value 0). `K` is the alphabet
+ * size (symbols are in [0, K)). Writes the full suffix array (including
+ * the sentinel suffix at sa[0]).
+ */
+void
+saIs(const int32_t *s, int32_t *sa, int32_t n, int32_t K)
+{
+    if (n == 1) {
+        sa[0] = 0;
+        return;
+    }
+    if (n == 2) {
+        sa[0] = 1;
+        sa[1] = 0;
+        return;
+    }
+
+    // Classify suffixes: S-type (true) / L-type (false).
+    std::vector<bool> stype(static_cast<size_t>(n));
+    stype[n - 1] = true;
+    for (int32_t i = n - 2; i >= 0; --i) {
+        stype[i] =
+            s[i] < s[i + 1] || (s[i] == s[i + 1] && stype[i + 1]);
+    }
+    auto is_lms = [&](int32_t i) {
+        return i > 0 && stype[i] && !stype[i - 1];
+    };
+
+    std::vector<int32_t> bucket(static_cast<size_t>(K));
+    auto bucket_ends = [&](bool end) {
+        std::fill(bucket.begin(), bucket.end(), 0);
+        for (int32_t i = 0; i < n; ++i)
+            ++bucket[s[i]];
+        int32_t sum = 0;
+        for (int32_t c = 0; c < K; ++c) {
+            sum += bucket[c];
+            bucket[c] = end ? sum : sum - bucket[c];
+        }
+    };
+
+    auto induce = [&] {
+        // Induce L-type from LMS/sorted S-type.
+        bucket_ends(false);
+        for (int32_t i = 0; i < n; ++i) {
+            const int32_t j = sa[i] - 1;
+            if (sa[i] > 0 && !stype[j])
+                sa[bucket[s[j]]++] = j;
+        }
+        // Induce S-type right-to-left.
+        bucket_ends(true);
+        for (int32_t i = n - 1; i >= 0; --i) {
+            const int32_t j = sa[i] - 1;
+            if (sa[i] > 0 && stype[j])
+                sa[--bucket[s[j]]] = j;
+        }
+    };
+
+    // Step 1: place LMS suffixes at their bucket ends (unsorted), induce.
+    std::fill(sa, sa + n, -1);
+    bucket_ends(true);
+    for (int32_t i = 1; i < n; ++i) {
+        if (is_lms(i))
+            sa[--bucket[s[i]]] = i;
+    }
+    induce();
+
+    // Step 2: name LMS substrings using their induced order.
+    std::vector<int32_t> lms_order;
+    lms_order.reserve(static_cast<size_t>(n) / 2);
+    for (int32_t i = 0; i < n; ++i) {
+        if (sa[i] >= 0 && is_lms(sa[i]))
+            lms_order.push_back(sa[i]);
+    }
+    const int32_t n_lms = static_cast<int32_t>(lms_order.size());
+    std::vector<int32_t> name(static_cast<size_t>(n), -1);
+    int32_t names = 0;
+    int32_t prev = -1;
+    for (int32_t k = 0; k < n_lms; ++k) {
+        const int32_t cur = lms_order[k];
+        bool differ = prev < 0;
+        if (!differ) {
+            // Compare the two LMS substrings character by character.
+            for (int32_t d = 0;; ++d) {
+                if (s[cur + d] != s[prev + d] ||
+                    stype[cur + d] != stype[prev + d]) {
+                    differ = true;
+                    break;
+                }
+                if (d > 0 && (is_lms(cur + d) || is_lms(prev + d))) {
+                    differ = !(is_lms(cur + d) && is_lms(prev + d));
+                    break;
+                }
+            }
+        }
+        if (differ)
+            ++names;
+        name[cur] = names - 1;
+        prev = cur;
+    }
+
+    // Collect the reduced string in text order.
+    std::vector<int32_t> reduced;
+    std::vector<int32_t> lms_pos;
+    reduced.reserve(static_cast<size_t>(n_lms));
+    lms_pos.reserve(static_cast<size_t>(n_lms));
+    for (int32_t i = 1; i < n; ++i) {
+        if (is_lms(i)) {
+            reduced.push_back(name[i]);
+            lms_pos.push_back(i);
+        }
+    }
+
+    std::vector<int32_t> lms_sa(static_cast<size_t>(n_lms));
+    if (names < n_lms) {
+        saIs(reduced.data(), lms_sa.data(), n_lms, names);
+    } else {
+        for (int32_t k = 0; k < n_lms; ++k)
+            lms_sa[reduced[k]] = k;
+    }
+
+    // Step 3: place LMS suffixes in their true order, induce once more.
+    std::fill(sa, sa + n, -1);
+    bucket_ends(true);
+    for (int32_t k = n_lms - 1; k >= 0; --k) {
+        const int32_t j = lms_pos[lms_sa[k]];
+        sa[--bucket[s[j]]] = j;
+    }
+    induce();
+}
+
+} // namespace
+
+std::vector<int32_t>
+buildSuffixArray(const std::vector<uint8_t> &text)
+{
+    const int32_t n = static_cast<int32_t>(text.size());
+    if (n == 0)
+        return {};
+    // Shift symbols by +1 so the appended sentinel 0 is unique-smallest.
+    std::vector<int32_t> s(static_cast<size_t>(n) + 1);
+    int32_t max_sym = 0;
+    for (int32_t i = 0; i < n; ++i) {
+        s[i] = static_cast<int32_t>(text[i]) + 1;
+        max_sym = std::max(max_sym, s[i]);
+    }
+    s[n] = 0;
+    std::vector<int32_t> sa(static_cast<size_t>(n) + 1);
+    saIs(s.data(), sa.data(), n + 1, max_sym + 1);
+    // Drop the sentinel suffix (always sa[0]).
+    return std::vector<int32_t>(sa.begin() + 1, sa.end());
+}
+
+std::vector<int32_t>
+buildSuffixArrayNaive(const std::vector<uint8_t> &text)
+{
+    std::vector<int32_t> sa(text.size());
+    std::iota(sa.begin(), sa.end(), 0);
+    std::sort(sa.begin(), sa.end(), [&](int32_t a, int32_t b) {
+        const size_t n = text.size();
+        while (a < static_cast<int32_t>(n) && b < static_cast<int32_t>(n)) {
+            if (text[a] != text[b])
+                return text[a] < text[b];
+            ++a;
+            ++b;
+        }
+        return a > b; // shorter suffix is smaller
+    });
+    return sa;
+}
+
+} // namespace seedex

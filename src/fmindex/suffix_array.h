@@ -1,0 +1,25 @@
+#ifndef SEEDEX_FMINDEX_SUFFIX_ARRAY_H
+#define SEEDEX_FMINDEX_SUFFIX_ARRAY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace seedex {
+
+/**
+ * Suffix-array construction.
+ *
+ * buildSuffixArray() runs SA-IS (Nong/Zhang/Chan, linear time) over a
+ * byte string; a virtual sentinel smaller than every symbol is appended
+ * internally, and the returned array indexes the *original* text's
+ * suffixes (length n, no sentinel entry). This is the construction step
+ * BWA performs once per reference when building its index.
+ */
+std::vector<int32_t> buildSuffixArray(const std::vector<uint8_t> &text);
+
+/** O(n^2 log n) reference implementation for the test oracle. */
+std::vector<int32_t> buildSuffixArrayNaive(const std::vector<uint8_t> &text);
+
+} // namespace seedex
+
+#endif // SEEDEX_FMINDEX_SUFFIX_ARRAY_H

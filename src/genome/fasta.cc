@@ -1,0 +1,139 @@
+#include "genome/fasta.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace seedex {
+
+namespace {
+
+/** Trim a trailing carriage return (Windows-style line endings). */
+void
+chomp(std::string &line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+}
+
+} // namespace
+
+std::vector<FastaRecord>
+readFasta(std::istream &in)
+{
+    std::vector<FastaRecord> records;
+    std::string line;
+    std::string body;
+    auto flush = [&] {
+        if (!records.empty())
+            records.back().seq = Sequence::fromString(body);
+        body.clear();
+    };
+    while (std::getline(in, line)) {
+        chomp(line);
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            flush();
+            records.push_back({line.substr(1), {}});
+        } else {
+            if (records.empty())
+                throw std::runtime_error("FASTA: sequence before header");
+            body += line;
+        }
+    }
+    flush();
+    return records;
+}
+
+std::vector<FastqRecord>
+readFastq(std::istream &in)
+{
+    std::vector<FastqRecord> records;
+    std::string header, bases, plus, qual;
+    while (std::getline(in, header)) {
+        chomp(header);
+        if (header.empty())
+            continue;
+        if (header[0] != '@')
+            throw std::runtime_error("FASTQ: expected '@' header");
+        if (!std::getline(in, bases) || !std::getline(in, plus) ||
+            !std::getline(in, qual)) {
+            throw std::runtime_error("FASTQ: truncated record");
+        }
+        chomp(bases);
+        chomp(plus);
+        chomp(qual);
+        if (plus.empty() || plus[0] != '+')
+            throw std::runtime_error("FASTQ: expected '+' separator");
+        if (qual.size() != bases.size())
+            throw std::runtime_error("FASTQ: quality length mismatch");
+        records.push_back(
+            {header.substr(1), Sequence::fromString(bases), qual});
+    }
+    return records;
+}
+
+void
+writeFasta(std::ostream &out, const std::vector<FastaRecord> &records)
+{
+    constexpr size_t width = 70;
+    for (const auto &rec : records) {
+        out << '>' << rec.name << '\n';
+        const std::string text = rec.seq.toString();
+        for (size_t i = 0; i < text.size(); i += width)
+            out << text.substr(i, width) << '\n';
+    }
+}
+
+void
+writeFastq(std::ostream &out, const std::vector<FastqRecord> &records)
+{
+    for (const auto &rec : records) {
+        out << '@' << rec.name << '\n'
+            << rec.seq.toString() << '\n'
+            << "+\n"
+            << rec.qual << '\n';
+    }
+}
+
+std::vector<FastaRecord>
+readFastaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open FASTA file: " + path);
+    return readFasta(in);
+}
+
+std::vector<FastqRecord>
+readFastqFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open FASTQ file: " + path);
+    return readFastq(in);
+}
+
+void
+writeFastaFile(const std::string &path,
+               const std::vector<FastaRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open FASTA file: " + path);
+    writeFasta(out, records);
+}
+
+void
+writeFastqFile(const std::string &path,
+               const std::vector<FastqRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open FASTQ file: " + path);
+    writeFastq(out, records);
+}
+
+} // namespace seedex

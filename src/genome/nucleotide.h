@@ -1,0 +1,57 @@
+#ifndef SEEDEX_GENOME_NUCLEOTIDE_H
+#define SEEDEX_GENOME_NUCLEOTIDE_H
+
+#include <cstdint>
+
+namespace seedex {
+
+/**
+ * Nucleotide code space.
+ *
+ * The whole stack works on small integer codes rather than ASCII:
+ * A=0, C=1, G=2, T=3, N=4. This is the 3-bit input format the SeedEx
+ * hardware consumes (two data bits plus an ambiguity/control bit); the
+ * reference copy stored on accelerator DRAM is 2-bit packed (no N).
+ */
+using Base = uint8_t;
+
+inline constexpr Base kBaseA = 0;
+inline constexpr Base kBaseC = 1;
+inline constexpr Base kBaseG = 2;
+inline constexpr Base kBaseT = 3;
+inline constexpr Base kBaseN = 4;
+
+/** Number of unambiguous nucleotide codes. */
+inline constexpr int kNumBases = 4;
+
+/** Convert an ASCII nucleotide (case-insensitive) to its code; N for other. */
+inline Base
+baseFromChar(char c)
+{
+    switch (c) {
+      case 'A': case 'a': return kBaseA;
+      case 'C': case 'c': return kBaseC;
+      case 'G': case 'g': return kBaseG;
+      case 'T': case 't': return kBaseT;
+      default: return kBaseN;
+    }
+}
+
+/** Convert a code back to an uppercase ASCII nucleotide. */
+inline char
+charFromBase(Base b)
+{
+    constexpr char table[] = {'A', 'C', 'G', 'T', 'N'};
+    return b <= kBaseN ? table[b] : 'N';
+}
+
+/** Watson-Crick complement; N maps to N. */
+inline Base
+complement(Base b)
+{
+    return b < kNumBases ? static_cast<Base>(3 - b) : kBaseN;
+}
+
+} // namespace seedex
+
+#endif // SEEDEX_GENOME_NUCLEOTIDE_H

@@ -1,0 +1,163 @@
+#include "genome/read_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace seedex {
+
+SimulatedRead
+ReadSimulator::simulate(Rng &rng, uint64_t id) const
+{
+    const size_t n = params_.read_length;
+    // Sample enough reference to survive deletions inside the read.
+    const size_t span = n + static_cast<size_t>(params_.long_indel_max) + 64;
+    if (ref_.size() < span)
+        throw std::runtime_error("reference shorter than read span");
+
+    SimulatedRead read;
+    read.name = strprintf("simread.%llu", static_cast<unsigned long long>(id));
+    read.true_pos = rng.pick(ref_.size() - span);
+    read.reverse = rng.coin(params_.reverse_fraction);
+
+    // Decide whether this read carries a long indel and where.
+    const bool long_indel = rng.coin(params_.long_indel_read_fraction);
+    const size_t long_indel_at = long_indel ? 5 + rng.pick(n - 10) : 0;
+    const int long_indel_len = long_indel
+        ? static_cast<int>(rng.range(params_.long_indel_min,
+                                     params_.long_indel_max))
+        : 0;
+    const bool long_is_insert = long_indel && rng.coin(0.5);
+    bool long_indel_done = false;
+
+    read.seq.reserve(n);
+    size_t ref_cursor = read.true_pos;
+    while (read.seq.size() < n && ref_cursor + 1 < read.true_pos + span) {
+        const size_t qpos = read.seq.size();
+
+        if (long_indel && !long_indel_done && qpos >= long_indel_at) {
+            long_indel_done = true;
+            if (long_is_insert) {
+                for (int i = 0; i < long_indel_len && read.seq.size() < n; ++i) {
+                    read.seq.push_back(static_cast<Base>(rng.pick(4)));
+                    ++read.inserted;
+                }
+            } else {
+                ref_cursor += static_cast<size_t>(long_indel_len);
+                read.deleted += long_indel_len;
+            }
+            continue;
+        }
+
+        if (rng.coin(params_.small_indel_rate)) {
+            const int len = 1 + rng.geometric(params_.small_indel_ext);
+            if (rng.coin(0.5)) {
+                for (int i = 0; i < len && read.seq.size() < n; ++i) {
+                    read.seq.push_back(static_cast<Base>(rng.pick(4)));
+                    ++read.inserted;
+                }
+            } else {
+                ref_cursor += static_cast<size_t>(len);
+                read.deleted += len;
+            }
+            continue;
+        }
+
+        Base b = ref_[ref_cursor++];
+        if (rng.coin(params_.snp_rate + params_.base_error_rate)) {
+            b = static_cast<Base>((b + 1 + rng.pick(3)) % 4);
+            ++read.substitutions;
+        }
+        read.seq.push_back(b);
+    }
+    // Pathological deletion pile-ups can exhaust the sampled window; pad
+    // with random bases so every read has the nominal length.
+    while (read.seq.size() < n)
+        read.seq.push_back(static_cast<Base>(rng.pick(4)));
+
+    if (read.reverse)
+        read.seq = read.seq.reverseComplement();
+
+    // Quality-tail errors hit the 3' end of the read *as sequenced*,
+    // i.e. after strand orientation.
+    if (params_.tail_error_rate > 0 && params_.tail_length > 0) {
+        const size_t start =
+            n > params_.tail_length ? n - params_.tail_length : 0;
+        for (size_t i = start; i < read.seq.size(); ++i) {
+            if (rng.coin(params_.tail_error_rate)) {
+                read.seq[i] = static_cast<Base>(
+                    (read.seq[i] + 1 + rng.pick(3)) % 4);
+                ++read.substitutions;
+            }
+        }
+    }
+    return read;
+}
+
+SimulatedPair
+ReadSimulator::simulatePair(Rng &rng, uint64_t id) const
+{
+    SimulatedPair pair;
+    // Crude Gaussian via CLT (sum of uniforms), clamped to sane bounds.
+    double z = -6.0;
+    for (int k = 0; k < 12; ++k)
+        z += rng.uniform();
+    int frag = static_cast<int>(params_.insert_mean +
+                                z * params_.insert_sd);
+    frag = std::max<int>(frag, static_cast<int>(params_.read_length) + 8);
+    const size_t span =
+        static_cast<size_t>(frag) + params_.long_indel_max + 64;
+    if (ref_.size() < span + 1)
+        throw std::runtime_error("reference shorter than fragment span");
+
+    // Draw both ends from fixed fragment coordinates by re-simulating
+    // with pinned positions: reuse simulate() and then overwrite the
+    // sampled position fields deterministically.
+    const size_t start = rng.pick(ref_.size() - span);
+    pair.fragment_start = start;
+    pair.fragment_length = frag;
+
+    auto make_end = [&](size_t pos, bool reverse,
+                        const char *suffix) {
+        const ReadSimParams &p = params_;
+        // Build directly at the pinned fragment coordinate: copy the
+        // window then apply substitutions (pairs stay substitution-only;
+        // indel stress comes from the single-end paths).
+        Sequence seq = ref_.slice(pos, p.read_length);
+        SimulatedRead read;
+        read.name = strprintf("simpair.%llu%s",
+                              static_cast<unsigned long long>(id),
+                              suffix);
+        read.true_pos = pos;
+        read.reverse = reverse;
+        for (size_t i = 0; i < seq.size(); ++i) {
+            double rate = p.snp_rate + p.base_error_rate;
+            if (i + p.tail_length >= seq.size())
+                rate += p.tail_error_rate;
+            if (rng.coin(rate)) {
+                seq[i] = static_cast<Base>((seq[i] + 1 + rng.pick(3)) % 4);
+                ++read.substitutions;
+            }
+        }
+        read.seq = reverse ? seq.reverseComplement() : seq;
+        return read;
+    };
+    pair.first = make_end(start, false, "/1");
+    pair.second = make_end(start + static_cast<size_t>(frag) -
+                               params_.read_length,
+                           true, "/2");
+    return pair;
+}
+
+std::vector<SimulatedRead>
+ReadSimulator::simulateBatch(Rng &rng, size_t count) const
+{
+    std::vector<SimulatedRead> reads;
+    reads.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        reads.push_back(simulate(rng, i));
+    return reads;
+}
+
+} // namespace seedex

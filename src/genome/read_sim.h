@@ -1,0 +1,120 @@
+#ifndef SEEDEX_GENOME_READ_SIM_H
+#define SEEDEX_GENOME_READ_SIM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genome/sequence.h"
+#include "util/rng.h"
+
+namespace seedex {
+
+/**
+ * Parameters of the Illumina-like read simulator.
+ *
+ * Substitutes for the ERR194147 Platinum Genomes reads (DESIGN.md §1).
+ * Defaults are tuned to short-read human resequencing statistics: point
+ * differences dominate (sequencing error ~0.2 %/bp plus ~0.1 % SNPs),
+ * small indels are rare, and a small tail of reads carries a long indel —
+ * exactly the structure behind the paper's "98 % of extensions need
+ * w <= 10" observation (Fig. 2).
+ */
+struct ReadSimParams
+{
+    /** Read length in bases (the paper's dataset is 101 bp). */
+    size_t read_length = 101;
+    /** Per-base substitution sequencing-error rate. */
+    double base_error_rate = 0.002;
+    /** Per-base SNP (variant substitution) rate. */
+    double snp_rate = 0.001;
+    /** Per-base small-indel open rate. */
+    double small_indel_rate = 0.0002;
+    /** Continuation probability of small indel length (geometric). */
+    double small_indel_ext = 0.3;
+    /** Fraction of reads carrying one long indel (the wide-band tail). */
+    double long_indel_read_fraction = 0.01;
+    /** Long indel length range, inclusive. */
+    int long_indel_min = 10;
+    int long_indel_max = 40;
+    /** Fraction of reads sampled from the reverse strand. */
+    double reverse_fraction = 0.5;
+    /**
+     * Illumina 3'-quality-tail model: the last `tail_length` sequenced
+     * bases carry an extra substitution rate of `tail_error_rate`. This
+     * is what pushes a visible share of real extensions into the
+     * S1..S2 gray zone of the SeedEx checks (Fig. 14). Off by default;
+     * platform-realistic profiles (bench workloads) enable it.
+     */
+    size_t tail_length = 15;
+    double tail_error_rate = 0.0;
+
+    /** Paired-end fragment model (FR orientation). */
+    double insert_mean = 400;
+    double insert_sd = 50;
+
+    /** Illumina-platform-like profile (quality tail enabled). */
+    static ReadSimParams
+    illumina()
+    {
+        ReadSimParams p;
+        p.tail_error_rate = 0.025;
+        return p;
+    }
+};
+
+/** A simulated read with its ground truth. */
+struct SimulatedRead
+{
+    std::string name;
+    Sequence seq;
+    /** Reference position the read was sampled from (forward coords). */
+    size_t true_pos = 0;
+    /** True if sampled from the reverse strand. */
+    bool reverse = false;
+    /** Number of substitution edits introduced (errors + SNPs). */
+    int substitutions = 0;
+    /** Total inserted bases. */
+    int inserted = 0;
+    /** Total deleted bases. */
+    int deleted = 0;
+};
+
+/** A simulated read pair (FR orientation from one fragment). */
+struct SimulatedPair
+{
+    SimulatedRead first;  ///< forward strand, fragment start
+    SimulatedRead second; ///< reverse strand, fragment end
+    size_t fragment_start = 0;
+    int fragment_length = 0;
+};
+
+/**
+ * Samples reads from a reference with a human-resequencing error model.
+ */
+class ReadSimulator
+{
+  public:
+    ReadSimulator(const Sequence &reference, ReadSimParams params)
+        : ref_(reference), params_(params)
+    {}
+
+    /** Draw one read using `rng`. */
+    SimulatedRead simulate(Rng &rng, uint64_t id) const;
+
+    /** Draw a batch of `count` reads. */
+    std::vector<SimulatedRead> simulateBatch(Rng &rng, size_t count) const;
+
+    /** Draw one FR read pair from a Gaussian-ish fragment model. */
+    SimulatedPair simulatePair(Rng &rng, uint64_t id) const;
+
+    const ReadSimParams &params() const { return params_; }
+
+  private:
+    const Sequence &ref_;
+    ReadSimParams params_;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_GENOME_READ_SIM_H

@@ -1,0 +1,44 @@
+#include "genome/reference.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+Sequence
+generateReference(const ReferenceParams &params, Rng &rng)
+{
+    std::vector<Base> bases;
+    bases.reserve(params.length);
+
+    // GC-biased i.i.d. draw: P(G)=P(C)=gc/2, P(A)=P(T)=(1-gc)/2.
+    for (size_t i = 0; i < params.length; ++i) {
+        const bool gc = rng.coin(params.gc_content);
+        const bool first = rng.coin(0.5);
+        bases.push_back(gc ? (first ? kBaseG : kBaseC)
+                           : (first ? kBaseA : kBaseT));
+    }
+
+    // Paste diverged copies of existing segments to create repeats.
+    if (params.repeat_fraction > 0 && params.length > 2 * params.repeat_length) {
+        const size_t repeat_bases = static_cast<size_t>(
+            params.repeat_fraction * static_cast<double>(params.length));
+        size_t placed = 0;
+        while (placed + params.repeat_length <= repeat_bases) {
+            const size_t src =
+                rng.pick(params.length - params.repeat_length);
+            const size_t dst =
+                rng.pick(params.length - params.repeat_length);
+            for (size_t i = 0; i < params.repeat_length; ++i) {
+                Base b = bases[src + i];
+                if (rng.coin(params.repeat_divergence))
+                    b = static_cast<Base>((b + 1 + rng.pick(3)) % 4);
+                bases[dst + i] = b;
+            }
+            placed += params.repeat_length;
+        }
+    }
+
+    return Sequence(std::move(bases));
+}
+
+} // namespace seedex

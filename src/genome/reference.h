@@ -1,0 +1,43 @@
+#ifndef SEEDEX_GENOME_REFERENCE_H
+#define SEEDEX_GENOME_REFERENCE_H
+
+#include <cstdint>
+
+#include "genome/sequence.h"
+#include "util/rng.h"
+
+namespace seedex {
+
+/**
+ * Parameters of the synthetic reference genome generator.
+ *
+ * Stands in for GRCh38 (see DESIGN.md §1): the experiments only need a
+ * reference with human-like local statistics — biased GC content and some
+ * repeated segments so seeding sees multi-hit seeds, as a real genome does.
+ */
+struct ReferenceParams
+{
+    /** Total length in bases. */
+    size_t length = 1 << 20;
+    /** GC fraction (human average is ~0.41). */
+    double gc_content = 0.41;
+    /** Fraction of the genome covered by copied (repeat) segments. */
+    double repeat_fraction = 0.05;
+    /** Length of each copied repeat segment. */
+    size_t repeat_length = 300;
+    /** Per-base divergence applied to repeat copies. */
+    double repeat_divergence = 0.02;
+};
+
+/**
+ * Generate a synthetic reference genome.
+ *
+ * @param params Shape of the genome.
+ * @param rng Random stream (consumed).
+ * @return The generated sequence (codes 0..3 only, no N).
+ */
+Sequence generateReference(const ReferenceParams &params, Rng &rng);
+
+} // namespace seedex
+
+#endif // SEEDEX_GENOME_REFERENCE_H

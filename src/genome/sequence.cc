@@ -1,0 +1,78 @@
+#include "genome/sequence.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+Sequence
+Sequence::fromString(std::string_view text)
+{
+    std::vector<Base> bases;
+    bases.reserve(text.size());
+    for (char c : text)
+        bases.push_back(baseFromChar(c));
+    return Sequence(std::move(bases));
+}
+
+std::string
+Sequence::toString() const
+{
+    std::string out;
+    out.reserve(bases_.size());
+    for (Base b : bases_)
+        out.push_back(charFromBase(b));
+    return out;
+}
+
+Sequence
+Sequence::slice(size_t pos, size_t len) const
+{
+    if (pos >= bases_.size())
+        return {};
+    len = std::min(len, bases_.size() - pos);
+    return Sequence(std::vector<Base>(bases_.begin() + pos,
+                                      bases_.begin() + pos + len));
+}
+
+Sequence
+Sequence::reverseComplement() const
+{
+    std::vector<Base> out(bases_.size());
+    for (size_t i = 0; i < bases_.size(); ++i)
+        out[bases_.size() - 1 - i] = complement(bases_[i]);
+    return Sequence(std::move(out));
+}
+
+void
+Sequence::append(const Sequence &other)
+{
+    bases_.insert(bases_.end(), other.bases_.begin(), other.bases_.end());
+}
+
+PackedSequence
+PackedSequence::pack(const Sequence &seq)
+{
+    PackedSequence packed;
+    packed.size_ = seq.size();
+    packed.words_.assign((seq.size() + 31) / 32, 0);
+    for (size_t i = 0; i < seq.size(); ++i) {
+        const Base b = seq[i] < kNumBases ? seq[i] : kBaseA;
+        packed.words_[i >> 5] |= static_cast<uint64_t>(b) << ((i & 31) * 2);
+    }
+    return packed;
+}
+
+Sequence
+PackedSequence::unpack(size_t pos, size_t len) const
+{
+    std::vector<Base> out;
+    if (pos < size_) {
+        len = std::min(len, size_ - pos);
+        out.reserve(len);
+        for (size_t i = 0; i < len; ++i)
+            out.push_back((*this)[pos + i]);
+    }
+    return Sequence(std::move(out));
+}
+
+} // namespace seedex

@@ -1,0 +1,82 @@
+#include "hw/accelerator.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+BatchResult
+SeedExAccelerator::processBatch(const std::vector<ExtensionJob> &jobs) const
+{
+    BatchResult batch;
+    batch.results.reserve(jobs.size());
+    batch.rerun.assign(jobs.size(), false);
+
+    const int n_bsw = org_.totalBswCores();
+    std::vector<uint64_t> core_busy(static_cast<size_t>(n_bsw), 0);
+    const SeedExConfig &cfg = filter_.config();
+    SystolicBswCore bsw(cfg.band, cfg.scoring);
+
+    for (size_t idx = 0; idx < jobs.size(); ++idx) {
+        const ExtensionJob &job = jobs[idx];
+        // Functional path: speculate + test. Like the software engines,
+        // the device caps its band at BWA's per-flank estimate (unused
+        // PEs are simply disabled), which keeps accepted results
+        // bit-identical to the estimated-band baseline.
+        const int est = estimateFullBand(
+            static_cast<int>(job.query.size()), cfg.scoring,
+            cfg.end_bonus);
+        FilterOutcome outcome;
+        if (est < cfg.band) {
+            SeedExConfig clamped = cfg;
+            clamped.band = est;
+            outcome = SeedExFilter(clamped).run(job.query, job.target,
+                                                job.h0);
+        } else {
+            outcome = filter_.run(job.query, job.target, job.h0);
+        }
+        batch.stats.add(outcome);
+
+        // Timing + exception path: the systolic model of the same core.
+        BswCoreStats stats;
+        bsw.run(job.query, job.target, job.h0, &stats);
+        // Arbiter: jobs stream to the least-loaded core (the state
+        // manager keeps every BSW core fed from the input RAM).
+        auto target_core = std::min_element(core_busy.begin(),
+                                            core_busy.end());
+        *target_core += stats.cycles;
+        batch.busy_cycles += stats.cycles;
+
+        if (outcome.ran_edit_machine) {
+            EditMachineStats estats;
+            edit_machine_.run(job.query, job.target, job.h0, cfg.scoring,
+                              &estats);
+            batch.edit_cycles += estats.cycles;
+        }
+
+        bool rerun = !outcome.isAccepted();
+        if (stats.early_term_exception) {
+            rerun = true;
+            ++batch.reruns_exception;
+        } else if (!outcome.isAccepted()) {
+            ++batch.reruns_checks;
+        }
+        batch.rerun[idx] = rerun;
+        if (rerun) {
+            // Host rerun with the conservatively estimated full band.
+            ExtendConfig full;
+            full.scoring = cfg.scoring;
+            full.band = est;
+            full.zdrop = cfg.zdrop;
+            batch.results.push_back(
+                kswExtend(job.query, job.target, job.h0, full));
+        } else {
+            batch.results.push_back(outcome.narrow);
+        }
+    }
+    batch.device_cycles = core_busy.empty()
+        ? 0
+        : *std::max_element(core_busy.begin(), core_busy.end());
+    return batch;
+}
+
+} // namespace seedex

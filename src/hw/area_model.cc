@@ -1,0 +1,68 @@
+#include "hw/area_model.h"
+
+namespace seedex {
+
+std::vector<UtilizationRow>
+FpgaFloorplan::combinedImage(int w, int cores) const
+{
+    const double lut_total = static_cast<double>(device_.luts);
+    const double seedex_core_lut_pct =
+        100.0 * static_cast<double>(cores) *
+        static_cast<double>(areas_.seedexCoreLuts(w)) / lut_total;
+
+    std::vector<UtilizationRow> rows;
+    rows.push_back({"Seeding", "1 x 6", kSeedingLutPct, kSeedingBramPct,
+                    kSeedingUramPct});
+    rows.push_back({"SeedEx: Controller", "1 x 1", kControllerLutPct,
+                    kControllerBramPct, 0.0});
+    rows.push_back({"SeedEx: I/O Buffers", "-", kIoBufLutPct,
+                    kIoBufBramPct, kIoBufUramPct});
+    rows.push_back({"SeedEx: SeedEx Core", "1 x " + std::to_string(cores),
+                    seedex_core_lut_pct, kSeedExCoreBramPct * cores,
+                    kSeedExCoreUramPct * cores});
+    rows.push_back({"SeedEx: Total", "-",
+                    kControllerLutPct + kIoBufLutPct + seedex_core_lut_pct,
+                    kControllerBramPct + kIoBufBramPct +
+                        kSeedExCoreBramPct * cores,
+                    kIoBufUramPct + kSeedExCoreUramPct * cores});
+    rows.push_back({"AWS Interface", "-", kAwsShellLutPct, kAwsShellBramPct,
+                    kAwsShellUramPct});
+    UtilizationRow total{"Total", "-", 0, 0, 0};
+    total.lut_pct = rows[0].lut_pct + rows[4].lut_pct + rows[5].lut_pct;
+    total.bram_pct = rows[0].bram_pct + rows[4].bram_pct + rows[5].bram_pct;
+    total.uram_pct = rows[0].uram_pct + rows[4].uram_pct + rows[5].uram_pct;
+    rows.push_back(total);
+    return rows;
+}
+
+std::vector<std::pair<std::string, double>>
+FpgaFloorplan::seedexOnlyLutBreakdown(int w, int clusters,
+                                      int cores_per_cluster) const
+{
+    const double lut_total = static_cast<double>(device_.luts);
+    const int cores = clusters * cores_per_cluster;
+    const double bsw = 100.0 * cores * 3 *
+                       static_cast<double>(areas_.bswCoreLuts(w)) /
+                       lut_total;
+    const double edit = 100.0 * cores *
+                        static_cast<double>(areas_.editCoreLuts(w)) /
+                        lut_total;
+    const double ctrl = 100.0 * cores *
+                        static_cast<double>(AreaModel::kSeedExCoreControl) /
+                        lut_total +
+                        kControllerLutPct;
+    std::vector<std::pair<std::string, double>> parts{
+        {"BSW cores", bsw},
+        {"Edit cores", edit},
+        {"Control + checks", ctrl},
+        {"I/O buffers + prefetch", kIoBufLutPct * clusters},
+        {"AWS shell", kAwsShellLutPct},
+    };
+    double used = 0;
+    for (const auto &[label, pct] : parts)
+        used += pct;
+    parts.emplace_back("Unused", 100.0 - used);
+    return parts;
+}
+
+} // namespace seedex

@@ -1,0 +1,167 @@
+#ifndef SEEDEX_HW_AREA_MODEL_H
+#define SEEDEX_HW_AREA_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seedex {
+
+/** FPGA device resource totals. */
+struct FpgaDevice
+{
+    std::string name;
+    uint64_t luts = 0;
+    uint64_t bram36 = 0; ///< 36 Kb block-RAM count
+    uint64_t uram = 0;
+
+    /** The Xilinx Ultrascale+ VU9P on AWS F1 (§VI, Table I). */
+    static FpgaDevice
+    vu9p()
+    {
+        return {"xcvu9p", 1182240, 2160, 960};
+    }
+};
+
+/** Edit-core optimization knobs (§IV-B, Fig. 16b ladder). */
+struct EditCoreOptions
+{
+    /** Drop affine E/F register files and weighted penalties. */
+    bool reduced_scoring = true;
+    /** 3-bit Lipton-LoPresti residue datapath. */
+    bool delta_encoding = true;
+    /** Trapezoid sweep with half the PEs. */
+    bool half_width = true;
+
+    static EditCoreOptions
+    none()
+    {
+        return {false, false, false};
+    }
+};
+
+/**
+ * Analytical LUT/area model of the SeedEx FPGA design.
+ *
+ * Per-PE LUT constants are calibrated against the paper's synthesis
+ * results (Fig. 4: linear LUT growth in band; Fig. 16b: 1.82x / 3.11x /
+ * 6.06x edit-core reduction ladder; Table II: a 3-core SeedEx cluster at
+ * 12.47 % of a VU9P). The model then *derives* the paper's comparison
+ * figures (Fig. 15, Fig. 16a, Table II) from structure, so changing a
+ * design parameter (band, core counts) moves every figure consistently.
+ */
+class AreaModel
+{
+  public:
+    // Calibrated per-PE LUT costs.
+    static constexpr uint64_t kAffinePeLuts = 360; ///< 8-bit, H/E/F
+    static constexpr uint64_t kEditPeLuts = 198;   ///< 8-bit, reduced
+    static constexpr uint64_t kDeltaPeLuts = 119;  ///< 3-bit residue
+    /** Fixed per-core logic (shift registers' control, accumulators). */
+    static constexpr uint64_t kBswCoreFixed = 280;
+    static constexpr uint64_t kEditCoreFixed = 150;
+    /** Per-SeedEx-core glue: parser, arbiter/state manager, check logic
+     *  (thresholds + E-score comparators). */
+    static constexpr uint64_t kSeedExCoreControl = 500;
+
+    /** LUTs of one banded-SW systolic core with band half-width w
+     *  (w+1 PEs; Fig. 4's linear trend). */
+    uint64_t
+    bswCoreLuts(int w) const
+    {
+        return kBswCoreFixed + static_cast<uint64_t>(w + 1) * kAffinePeLuts;
+    }
+
+    /** LUTs of one edit-machine core under the given optimizations. */
+    uint64_t
+    editCoreLuts(int w, EditCoreOptions opt = {}) const
+    {
+        const uint64_t pe = opt.delta_encoding
+            ? kDeltaPeLuts
+            : (opt.reduced_scoring ? kEditPeLuts : kAffinePeLuts);
+        uint64_t pes = static_cast<uint64_t>(w + 1);
+        if (opt.half_width)
+            pes = (pes + 1) / 2;
+        return kEditCoreFixed + pes * pe;
+    }
+
+    /** LUTs of one SeedEx core: `bsw` narrow-band BSW cores + `edit`
+     *  edit machines + check/control glue (the 3:1 ratio follows from the
+     *  ~1/3 threshold-failure rate, §VII-A). */
+    uint64_t
+    seedexCoreLuts(int w, int bsw = 3, int edit = 1) const
+    {
+        return static_cast<uint64_t>(bsw) * bswCoreLuts(w) +
+               static_cast<uint64_t>(edit) * editCoreLuts(w) +
+               kSeedExCoreControl;
+    }
+
+    /** LUTs of the full-band comparison core (Fig. 16a): `bsw` BSW cores
+     *  wide enough for the whole query. */
+    uint64_t
+    fullBandCoreLuts(int full_w = 101, int bsw = 3) const
+    {
+        return static_cast<uint64_t>(bsw) * bswCoreLuts(full_w) +
+               kSeedExCoreControl;
+    }
+};
+
+/** One row of a resource-utilization table (percent of device). */
+struct UtilizationRow
+{
+    std::string component;
+    std::string configuration;
+    double lut_pct = 0;
+    double bram_pct = 0;
+    double uram_pct = 0;
+};
+
+/**
+ * System-level FPGA floorplan model: composes the AreaModel compute cores
+ * with the calibrated infrastructure budgets (seeding accelerator, AWS
+ * shell, buffers) to reproduce Table II and Fig. 15.
+ */
+class FpgaFloorplan
+{
+  public:
+    explicit FpgaFloorplan(FpgaDevice device = FpgaDevice::vu9p())
+        : device_(device)
+    {}
+
+    // Calibrated non-compute budgets (fractions of the device; Table II).
+    static constexpr double kSeedingLutPct = 21.04;
+    static constexpr double kSeedingBramPct = 10.10;
+    static constexpr double kSeedingUramPct = 11.81;
+    static constexpr double kControllerLutPct = 0.03;
+    static constexpr double kControllerBramPct = 0.01;
+    static constexpr double kIoBufLutPct = 0.49;
+    static constexpr double kIoBufBramPct = 0.64;
+    static constexpr double kIoBufUramPct = 0.36;
+    static constexpr double kAwsShellLutPct = 19.74;
+    static constexpr double kAwsShellBramPct = 12.63;
+    static constexpr double kAwsShellUramPct = 12.20;
+    /** BRAM/URAM of one SeedEx core (input RAM + score buffers). */
+    static constexpr double kSeedExCoreBramPct = 1.14 / 3;
+    static constexpr double kSeedExCoreUramPct = 0.15 / 3;
+
+    /** Table II: combined seeding + SeedEx image (`cores` SeedEx cores). */
+    std::vector<UtilizationRow> combinedImage(int w, int cores = 3) const;
+
+    /** Fig. 15: LUT breakdown of the SeedEx-only image (3 clusters x 4
+     *  SeedEx cores by default). Returns (label, LUT fraction of device)
+     *  including the unused remainder. */
+    std::vector<std::pair<std::string, double>>
+    seedexOnlyLutBreakdown(int w, int clusters = 3,
+                           int cores_per_cluster = 4) const;
+
+    const FpgaDevice &device() const { return device_; }
+    const AreaModel &areas() const { return areas_; }
+
+  private:
+    FpgaDevice device_;
+    AreaModel areas_;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_HW_AREA_MODEL_H

@@ -1,0 +1,127 @@
+#include "hw/asic_model.h"
+
+#include "util/table.h"
+
+namespace seedex {
+
+namespace {
+
+// Comparator operating points (published numbers; see DESIGN.md).
+// Sillax: string-independent local Levenshtein automata, O(K^2) states
+// with K = 32; the ERT paper budgets 16.08 mm^2 / 18.48 W for it.
+constexpr double kSillaxArea = 16.08;
+constexpr double kSillaxPower = 18.48;
+// Sillax is throughput-rich but area-hungry (O(K^2) states vs SeedEx's
+// linear band): at the system level both feed from the same ERT seeder,
+// so the app-level comparison reduces to area/power (the paper's 1.56x /
+// 2.45x); at the kernel level the area disparity yields SeedEx's ~20x.
+constexpr double kSillaxExtPerSec = 100e6;
+// GenAx (ISCA'18) system operating point.
+constexpr double kGenAxReadsPerSec = 1.2e6;
+constexpr double kGenAxArea = 50.3;
+constexpr double kGenAxPower = 2.5;
+// CPU: SeqAn kernel on a Xeon core (~25 mm^2 incl. uncore share); app =
+// BWA-MEM2 on the 8-vCPU baseline (~200 mm^2 die).
+constexpr double kCpuKernelExtPerSec = 1.0e6;
+constexpr double kCpuCoreArea = 25.0;
+constexpr double kCpuAppReadsPerSec = 5.0e4;
+constexpr double kCpuDieArea = 200.0;
+constexpr double kCpuPower = 80.0;
+// GPU: SW# kernel / CUSHAW2 app on a TITAN Xp (471 mm^2, 250 W); short
+// reads suffer synchronization overheads (§VII-C).
+constexpr double kGpuKernelExtPerSec = 2.0e6;
+constexpr double kGpuArea = 471.0;
+constexpr double kGpuAppReadsPerSec = 3.0e4;
+constexpr double kGpuPower = 250.0;
+// ERT seeding throughput at 1.2 GHz (reads/s), the app-level bound.
+constexpr double kErtReadsPerSec = 10.0e6;
+// Average seed extensions per read (§II: ~10).
+constexpr double kExtensionsPerRead = 10.0;
+
+} // namespace
+
+std::vector<AsicComponent>
+AsicModel::table(const AsicDesign &d, bool with_ert) const
+{
+    std::vector<AsicComponent> rows;
+    rows.push_back({"I/O buffer", "4KiB", kIoBufferArea, kIoBufferPower});
+    rows.push_back({"RAM", "2.25KiB x 4", kRamArea, kRamPower});
+    rows.push_back({"BSW cores", std::to_string(d.bsw_cores),
+                    kBswCoreArea * d.bsw_cores,
+                    kBswCorePower * d.bsw_cores});
+    rows.push_back({"Edit cores", std::to_string(d.edit_cores),
+                    kEditCoreArea * d.edit_cores,
+                    kEditCorePower * d.edit_cores});
+    rows.push_back({"Rerun core", std::to_string(d.rerun_cores),
+                    kRerunCoreArea * d.rerun_cores,
+                    kRerunCorePower * d.rerun_cores});
+    rows.push_back({"SeedEx Total", "-", seedexArea(d), seedexPower(d)});
+    if (with_ert) {
+        rows.push_back({"ERT", "x8", kErtArea, kErtPower});
+        rows.push_back({"Total", "-", seedexArea(d) + kErtArea,
+                        seedexPower(d) + kErtPower});
+    }
+    return rows;
+}
+
+double
+AsicModel::seedexArea(const AsicDesign &d) const
+{
+    return kIoBufferArea + kRamArea + kBswCoreArea * d.bsw_cores +
+           kEditCoreArea * d.edit_cores + kRerunCoreArea * d.rerun_cores;
+}
+
+double
+AsicModel::seedexPower(const AsicDesign &d) const
+{
+    return kIoBufferPower + kRamPower + kBswCorePower * d.bsw_cores +
+           kEditCorePower * d.edit_cores + kRerunCorePower * d.rerun_cores;
+}
+
+std::vector<AsicComparison>
+buildFig18(const AsicModel &model, double cycles_per_ext,
+           double measured_cpu_kernel_ext_per_sec)
+{
+    const AsicDesign design;
+    const double seedex_area = model.seedexArea(design);
+    const double seedex_ext =
+        model.extensionsPerSec(cycles_per_ext, design);
+
+    // App level: seeding-bound system throughput (ERT feeds SeedEx; the
+    // extension side has headroom: ~10 extensions per read).
+    const double app_reads = std::min(
+        kErtReadsPerSec, seedex_ext / kExtensionsPerRead);
+    const double ert_seedex_area = seedex_area + AsicModel::kErtArea;
+    const double ert_seedex_power =
+        model.seedexPower(design) + AsicModel::kErtPower;
+    const double ert_sillax_area = kSillaxArea + AsicModel::kErtArea;
+    const double ert_sillax_power = kSillaxPower + AsicModel::kErtPower;
+    const double sillax_app_reads =
+        std::min(kErtReadsPerSec, kSillaxExtPerSec / kExtensionsPerRead);
+
+    const double cpu_kernel = measured_cpu_kernel_ext_per_sec > 0
+        ? measured_cpu_kernel_ext_per_sec
+        : kCpuKernelExtPerSec;
+
+    std::vector<AsicComparison> bars;
+    bars.push_back({"SeedEx", seedex_ext / seedex_area / 1e3, 0, 0});
+    bars.push_back({"SillaX", kSillaxExtPerSec / kSillaxArea / 1e3, 0, 0});
+    bars.push_back({"CPU", cpu_kernel / kCpuCoreArea / 1e3, 0, 0});
+    bars.push_back({"GPU", kGpuKernelExtPerSec / kGpuArea / 1e3, 0, 0});
+
+    bars.push_back({"BWA-MEM2", 0, kCpuAppReadsPerSec / kCpuDieArea / 1e3,
+                    kCpuAppReadsPerSec / kCpuPower / 1e3});
+    bars.push_back({"CUSHAW2", 0, kGpuAppReadsPerSec / kGpuArea / 1e3,
+                    kGpuAppReadsPerSec / kGpuPower / 1e3});
+    bars.push_back({"GenAx", 0, kGenAxReadsPerSec / kGenAxArea / 1e3,
+                    kGenAxReadsPerSec / kGenAxPower / 1e3});
+    bars.push_back({"ERT+Sillax", 0,
+                    sillax_app_reads / ert_sillax_area / 1e3,
+                    sillax_app_reads / ert_sillax_power / 1e3});
+    bars.push_back({"ERT+SeedEx", 0,
+                    app_reads / ert_seedex_area / 1e3,
+                    app_reads / ert_seedex_power / 1e3});
+    return bars;
+}
+
+} // namespace seedex

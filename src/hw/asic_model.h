@@ -1,0 +1,104 @@
+#ifndef SEEDEX_HW_ASIC_MODEL_H
+#define SEEDEX_HW_ASIC_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace seedex {
+
+/** ASIC design point: core counts (paper default: 12/4/1). */
+struct AsicDesign
+{
+    int bsw_cores = 12;
+    int edit_cores = 4;
+    int rerun_cores = 1;
+};
+
+/** One row of the ASIC area/power table (Table III). */
+struct AsicComponent
+{
+    std::string name;
+    std::string configuration;
+    double area_mm2 = 0;
+    double power_w = 0;
+};
+
+/**
+ * ASIC implementation model (§VII-C, Table III, Fig. 18).
+ *
+ * Per-component area/power constants are calibrated to the paper's
+ * Synopsys DC results in TSMC 28 nm (Table III); system-level numbers are
+ * then *derived* from component counts, so resizing the design (more BSW
+ * cores, different BSW:edit ratio) moves the totals consistently.
+ * Comparator systems (Sillax, GenAx, CPU, GPU) are modeled from their
+ * published scaling laws — see DESIGN.md's substitution table.
+ */
+class AsicModel
+{
+  public:
+    // --- Calibrated component constants (28 nm, 0.49 ns clock) ---
+    static constexpr double kIoBufferArea = 0.08;  // 4 KiB
+    static constexpr double kIoBufferPower = 0.1395;
+    static constexpr double kRamArea = 0.31;       // 2.25 KiB x 4
+    static constexpr double kRamPower = 0.5482;
+    static constexpr double kBswCoreArea = 0.43 / 12;  // w = 41
+    static constexpr double kBswCorePower = 0.288 / 12;
+    static constexpr double kEditCoreArea = 0.04 / 4;
+    static constexpr double kEditCorePower = 0.0592 / 4;
+    static constexpr double kRerunCoreArea = 0.084;    // full band
+    static constexpr double kRerunCorePower = 0.0355;
+    /** ERT seeding accelerator, 8 units at 1.2 GHz [35]. */
+    static constexpr double kErtArea = 27.78;
+    static constexpr double kErtPower = 8.71;
+    /** Standalone clock (0.49 ns) and the 1.2 GHz ERT-matched clock. */
+    static constexpr double kStandaloneClockHz = 1.0 / 0.49e-9;
+    static constexpr double kIntegratedClockHz = 1.2e9;
+
+
+    /** Table III rows for a design (+ERT when `with_ert`). */
+    std::vector<AsicComponent> table(const AsicDesign &design = {},
+                                     bool with_ert = true) const;
+
+    /** SeedEx-only area/power (the "SeedEx Total" row). */
+    double seedexArea(const AsicDesign &design = {}) const;
+    double seedexPower(const AsicDesign &design = {}) const;
+
+    /** Kernel throughput (extensions/s) of the SeedEx ASIC given the
+     *  average cycles per extension from the systolic model. */
+    double
+    extensionsPerSec(double cycles_per_ext, const AsicDesign &design = {},
+                     double clock_hz = kIntegratedClockHz) const
+    {
+        return clock_hz / cycles_per_ext * design.bsw_cores;
+    }
+};
+
+/** One bar of the Fig. 18 comparison charts. */
+struct AsicComparison
+{
+    std::string system;
+    double kernel_kext_per_s_per_mm2 = 0; ///< Fig. 18a (0 = not reported)
+    double app_kreads_per_s_per_mm2 = 0;  ///< Fig. 18b
+    double app_kreads_per_s_per_joule = 0; ///< Fig. 18c
+};
+
+/**
+ * Build the Fig. 18 comparison set.
+ *
+ * The ERT+SeedEx rows derive from AsicModel; the comparators use
+ * published numbers/scaling laws: Sillax has O(K^2) automaton states
+ * (K = 32) and the ERT paper's 16.08 mm^2 / 18.48 W budget; GenAx, CPU
+ * (SeqAn / BWA-MEM2) and GPU (SW# / CUSHAW2) are encoded at their
+ * published operating points.
+ *
+ * @param measured_cpu_kernel_ext_per_sec Optional real measurement of the
+ *        software kernel on the host running the bench (0 = use the
+ *        calibrated constant).
+ */
+std::vector<AsicComparison>
+buildFig18(const AsicModel &model, double cycles_per_ext,
+           double measured_cpu_kernel_ext_per_sec = 0);
+
+} // namespace seedex
+
+#endif // SEEDEX_HW_ASIC_MODEL_H

@@ -1,0 +1,206 @@
+#include "hw/batch_format.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "hw/systolic.h"
+
+namespace seedex {
+
+namespace {
+
+/** Bit-granular writer over a vector of memory lines. */
+class LineWriter
+{
+  public:
+    explicit LineWriter(std::vector<MemoryLine> &lines) : lines_(lines) {}
+
+    void
+    putBits(uint64_t value, int bits)
+    {
+        for (int b = 0; b < bits; ++b) {
+            const size_t line = pos_ / MemoryLine::kBits;
+            if (line >= lines_.size())
+                lines_.emplace_back();
+            const size_t bit = pos_ % MemoryLine::kBits;
+            if ((value >> b) & 1)
+                lines_[line].bytes[bit / 8] |=
+                    static_cast<uint8_t>(1u << (bit % 8));
+            ++pos_;
+        }
+    }
+
+    /** Jobs start on a fresh line (the prefetcher's fetch unit). */
+    void
+    alignToLine()
+    {
+        if (pos_ % MemoryLine::kBits)
+            pos_ += MemoryLine::kBits - pos_ % MemoryLine::kBits;
+    }
+
+  private:
+    std::vector<MemoryLine> &lines_;
+    size_t pos_ = 0;
+};
+
+/** Bit-granular reader. */
+class LineReader
+{
+  public:
+    explicit LineReader(const std::vector<MemoryLine> &lines)
+        : lines_(lines)
+    {}
+
+    uint64_t
+    getBits(int bits)
+    {
+        uint64_t value = 0;
+        for (int b = 0; b < bits; ++b) {
+            const size_t line = pos_ / MemoryLine::kBits;
+            if (line >= lines_.size())
+                throw std::runtime_error("batch: truncated stream");
+            const size_t bit = pos_ % MemoryLine::kBits;
+            if (lines_[line].bytes[bit / 8] & (1u << (bit % 8)))
+                value |= 1ULL << b;
+            ++pos_;
+        }
+        return value;
+    }
+
+    void
+    alignToLine()
+    {
+        if (pos_ % MemoryLine::kBits)
+            pos_ += MemoryLine::kBits - pos_ % MemoryLine::kBits;
+    }
+
+  private:
+    const std::vector<MemoryLine> &lines_;
+    size_t pos_ = 0;
+};
+
+constexpr int kCharBits = 3; ///< the PEs' 3-bit input format
+
+} // namespace
+
+PackedBatch
+packBatch(const std::vector<ExtensionJob> &jobs)
+{
+    PackedBatch batch;
+    LineWriter writer(batch.lines);
+    for (size_t k = 0; k < jobs.size(); ++k) {
+        const ExtensionJob &job = jobs[k];
+        if (job.query.size() > 0xffff || job.target.size() > 0xffff)
+            throw std::runtime_error("batch: sequence too long");
+        writer.alignToLine();
+        writer.putBits(static_cast<uint32_t>(k), 32);
+        writer.putBits(job.query.size(), 16);
+        writer.putBits(job.target.size(), 16);
+        writer.putBits(static_cast<uint32_t>(job.h0), 32);
+        for (Base b : job.query)
+            writer.putBits(b, kCharBits);
+        for (Base b : job.target)
+            writer.putBits(b, kCharBits);
+    }
+    batch.jobs = static_cast<uint32_t>(jobs.size());
+    return batch;
+}
+
+std::vector<ExtensionJob>
+unpackBatch(const PackedBatch &batch)
+{
+    std::vector<ExtensionJob> jobs;
+    LineReader reader(batch.lines);
+    for (uint32_t k = 0; k < batch.jobs; ++k) {
+        reader.alignToLine();
+        const uint32_t id = static_cast<uint32_t>(reader.getBits(32));
+        if (id != k)
+            throw std::runtime_error("batch: job id mismatch");
+        const size_t qlen = reader.getBits(16);
+        const size_t tlen = reader.getBits(16);
+        const int32_t h0 = static_cast<int32_t>(reader.getBits(32));
+        ExtensionJob job;
+        job.h0 = h0;
+        job.query.reserve(qlen);
+        for (size_t i = 0; i < qlen; ++i)
+            job.query.push_back(
+                static_cast<Base>(reader.getBits(kCharBits)));
+        job.target.reserve(tlen);
+        for (size_t i = 0; i < tlen; ++i)
+            job.target.push_back(
+                static_cast<Base>(reader.getBits(kCharBits)));
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<MemoryLine>
+packResults(const std::vector<ResultEntry> &results)
+{
+    // Five entries coalesce into one 64-byte line (§V-A): 12 bytes of
+    // payload each plus 4 bytes of line padding.
+    std::vector<MemoryLine> lines;
+    LineWriter writer(lines);
+    for (size_t k = 0; k < results.size(); ++k) {
+        if (k % ResultEntry::kPerLine == 0)
+            writer.alignToLine();
+        const ResultEntry &r = results[k];
+        writer.putBits(r.job_id, 24);
+        writer.putBits(static_cast<uint16_t>(r.score), 16);
+        writer.putBits(static_cast<uint16_t>(r.gscore), 16);
+        writer.putBits(r.qle, 12);
+        writer.putBits(r.tle, 12);
+        writer.putBits(r.gtle, 12);
+        writer.putBits(r.flags, 4);
+    }
+    return lines;
+}
+
+std::vector<ResultEntry>
+unpackResults(const std::vector<MemoryLine> &lines, size_t count)
+{
+    std::vector<ResultEntry> results;
+    LineReader reader(lines);
+    for (size_t k = 0; k < count; ++k) {
+        if (k % ResultEntry::kPerLine == 0)
+            reader.alignToLine();
+        ResultEntry r;
+        r.job_id = static_cast<uint32_t>(reader.getBits(24));
+        r.score = static_cast<int16_t>(reader.getBits(16));
+        r.gscore = static_cast<int16_t>(reader.getBits(16));
+        r.qle = static_cast<uint16_t>(reader.getBits(12));
+        r.tle = static_cast<uint16_t>(reader.getBits(12));
+        r.gtle = static_cast<uint16_t>(reader.getBits(12));
+        r.flags = static_cast<uint8_t>(reader.getBits(4));
+        results.push_back(r);
+    }
+    return results;
+}
+
+BandwidthReport
+accountBandwidth(const PackedBatch &batch,
+                 const std::vector<ExtensionJob> &jobs, int band,
+                 int bsw_cores_per_cluster)
+{
+    BandwidthReport report;
+    report.input_bytes = batch.bytes();
+    const size_t result_lines =
+        (jobs.size() + ResultEntry::kPerLine - 1) / ResultEntry::kPerLine;
+    report.output_bytes = result_lines * MemoryLine::kBytes;
+    // One 512-bit line per AXI beat.
+    report.memory_cycles = static_cast<uint64_t>(
+        (report.input_bytes + report.output_bytes) / MemoryLine::kBytes);
+
+    const SystolicBswCore core(band);
+    uint64_t compute = 0;
+    for (const ExtensionJob &job : jobs) {
+        BswCoreStats stats;
+        core.run(job.query, job.target, job.h0, &stats);
+        compute += stats.cycles;
+    }
+    report.compute_cycles =
+        compute / static_cast<uint64_t>(bsw_cores_per_cluster);
+    return report;
+}
+
+} // namespace seedex

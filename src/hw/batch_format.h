@@ -1,0 +1,103 @@
+#ifndef SEEDEX_HW_BATCH_FORMAT_H
+#define SEEDEX_HW_BATCH_FORMAT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "align/extend.h"
+#include "hw/throughput_model.h"
+
+namespace seedex {
+
+/**
+ * On-device batch format (§V-A).
+ *
+ * Input queries are DMA'd to FPGA DRAM and fetched by the prefetcher at
+ * the memory-line granularity of 512 bits; characters travel in the
+ * 3-bit format the PEs consume (2 data bits + ambiguity/control bit),
+ * and each job carries a fixed-size header (sequence lengths, h0, job
+ * id). Results are coalesced five-to-one into an output line before
+ * write-back "in a bandwidth efficient manner".
+ *
+ * This module implements the actual packing/unpacking (bit-exact round
+ * trip, tested) and the byte accounting the bandwidth model needs to
+ * show that prefetching hides memory latency behind compute (§V-A:
+ * 40-cycle AXI reads vs ~100-cycle extensions).
+ */
+struct MemoryLine
+{
+    static constexpr size_t kBits = 512;
+    static constexpr size_t kBytes = kBits / 8;
+    uint8_t bytes[kBytes] = {};
+};
+
+/** Per-job header stored ahead of the packed characters. */
+struct JobHeader
+{
+    uint32_t job_id = 0;
+    uint16_t qlen = 0;
+    uint16_t tlen = 0;
+    int32_t h0 = 0;
+};
+
+/** One packed result entry (five coalesce into one output line). */
+struct ResultEntry
+{
+    uint32_t job_id = 0;
+    int32_t score = 0;
+    int32_t gscore = 0;
+    uint16_t qle = 0, tle = 0, gtle = 0;
+    uint8_t flags = 0; ///< bit0: rerun-on-host
+
+    static constexpr uint8_t kFlagRerun = 1;
+    /** Five 12-byte entries plus padding per 64-byte line (§V-A). */
+    static constexpr size_t kPerLine = 5;
+};
+
+/** A batch packed into memory lines, ready for the DMA model. */
+struct PackedBatch
+{
+    std::vector<MemoryLine> lines;
+    uint32_t jobs = 0;
+
+    size_t bytes() const { return lines.size() * MemoryLine::kBytes; }
+};
+
+/** Pack extension jobs into 512-bit memory lines (3-bit characters). */
+PackedBatch packBatch(const std::vector<ExtensionJob> &jobs);
+
+/** Unpack a batch; bit-exact inverse of packBatch. */
+std::vector<ExtensionJob> unpackBatch(const PackedBatch &batch);
+
+/** Pack device results with 5:1 output coalescing. */
+std::vector<MemoryLine> packResults(const std::vector<ResultEntry> &results);
+
+/** Unpack result lines. @param count Number of valid entries. */
+std::vector<ResultEntry> unpackResults(const std::vector<MemoryLine> &lines,
+                                       size_t count);
+
+/** Bandwidth accounting for one batch on one memory channel. */
+struct BandwidthReport
+{
+    size_t input_bytes = 0;
+    size_t output_bytes = 0;
+    /** Cycles the AXI channel needs to stream the batch (64 B/cycle). */
+    uint64_t memory_cycles = 0;
+    /** Compute cycles of the same batch on one SeedEx cluster. */
+    uint64_t compute_cycles = 0;
+
+    /** True if prefetching fully hides memory behind compute. */
+    bool memoryHidden() const { return memory_cycles <= compute_cycles; }
+};
+
+/**
+ * Check the §V-A overlap claim for a packed batch: one 512-bit line per
+ * AXI cycle against the cluster's compute time from the cycle model.
+ */
+BandwidthReport accountBandwidth(const PackedBatch &batch,
+                                 const std::vector<ExtensionJob> &jobs,
+                                 int band, int bsw_cores_per_cluster);
+
+} // namespace seedex
+
+#endif // SEEDEX_HW_BATCH_FORMAT_H

@@ -1,0 +1,2 @@
+// DeltaCodec is header-only; this translation unit anchors the library.
+#include "hw/delta.h"

@@ -1,0 +1,88 @@
+#ifndef SEEDEX_HW_DELTA_H
+#define SEEDEX_HW_DELTA_H
+
+#include <cstdint>
+
+namespace seedex {
+
+/**
+ * Lipton-LoPresti residue (delta) arithmetic for systolic DP arrays
+ * (§IV-B, Fig. 9-11).
+ *
+ * DP cell scores have a bounded dynamic range per step: for the SeedEx
+ * edit machine, candidate values at one cell never differ by more than
+ * delta = 3. Storing only the residue x = X mod Delta with
+ * Delta = 8 >= 2*delta + 1 therefore preserves order: on the modulo
+ * circle, whichever residue precedes the other on the short arc (length
+ * <= delta) is the smaller value. The PE datapath shrinks from 8 bits to
+ * 3 bits; a single augmentation unit walking the augmentation path
+ * recovers full-width scores.
+ */
+class DeltaCodec
+{
+  public:
+    /** Modulo circle circumference (3-bit datapath). */
+    static constexpr int kDelta = 8;
+    /** Maximum candidate difference the circle can disambiguate. */
+    static constexpr int kMaxDiff = (kDelta - 1) / 2; // 3
+
+    /** Encode a full-width score to its 3-bit residue. */
+    static uint8_t
+    encode(int value)
+    {
+        const int r = value % kDelta;
+        return static_cast<uint8_t>(r < 0 ? r + kDelta : r);
+    }
+
+    /**
+     * 2-input delta-max (Fig. 9 left/middle): returns true if the value
+     * encoded by `b` is >= the value encoded by `a`.
+     * Precondition: |A - B| <= kMaxDiff; violating it gives garbage, which
+     * is exactly why callers (the edit machine model) assert the bound.
+     */
+    static bool
+    secondIsLarger(uint8_t a, uint8_t b)
+    {
+        const int d = (b - a + kDelta) % kDelta;
+        return d <= kMaxDiff;
+    }
+
+    /** 2-input delta-max unit: residue of max(A, B). */
+    static uint8_t
+    dmax2(uint8_t a, uint8_t b)
+    {
+        return secondIsLarger(a, b) ? b : a;
+    }
+
+    /**
+     * 3-input delta-max (Fig. 11): a tree of two 2-input units. The
+     * precondition widens to pairwise |Xi - Xj| <= kMaxDiff (Fig. 9
+     * right).
+     */
+    static uint8_t
+    dmax3(uint8_t a, uint8_t b, uint8_t c)
+    {
+        return dmax2(dmax2(a, b), c);
+    }
+
+    /**
+     * Augmentation-unit decode (Fig. 10): given the previously decoded
+     * full-width score `anchor` and the residue `r` of a neighboring cell
+     * whose true value differs from `anchor` by at most kMaxDiff in
+     * magnitude, recover the neighbor's full-width value. (The circle
+     * midpoint, a difference of exactly kDelta/2, is ambiguous.)
+     */
+    static int
+    decodeNear(int anchor, uint8_t r)
+    {
+        const int d = (r - (anchor % kDelta + kDelta) % kDelta + kDelta) %
+                      kDelta;
+        // Short-arc interpretation: d in [0, kDelta/2] means +d, else
+        // negative wrap.
+        return d <= kDelta / 2 ? anchor + d : anchor + d - kDelta;
+    }
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_HW_DELTA_H

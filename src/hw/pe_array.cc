@@ -1,0 +1,155 @@
+#include "hw/pe_array.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace seedex {
+
+ExtendResult
+PeArraySim::run(const Sequence &query, const Sequence &target, int h0,
+                PeArrayStats *stats) const
+{
+    ExtendResult res;
+    res.score = h0;
+    const int qlen = static_cast<int>(query.size());
+    const int tlen = static_cast<int>(target.size());
+    if (qlen == 0 || tlen == 0)
+        return res;
+
+    const Scoring &s = scoring_;
+    const int oe_del = s.gap_open_del + s.gap_extend_del;
+    const int oe_ins = s.gap_open_ins + s.gap_extend_ins;
+    const int w = band_;
+    const int lanes = 2 * w + 1; // offsets -w..w (PEs serve two each)
+
+    // Per-offset score registers for the last two wavefronts.
+    std::vector<int> h1(lanes, 0), m1(lanes, 0), e1(lanes, 0),
+        f1(lanes, 0);
+    std::vector<int> h2(lanes, 0), m2(lanes, 0);
+    std::vector<int> h0v(lanes, 0), m0v(lanes, 0), e0v(lanes, 0),
+        f0v(lanes, 0);
+
+    // Progressive initialization values injected at the boundary PEs.
+    auto col_init = [&](int i) { // H(i, -1)
+        const int v =
+            h0 - (s.gap_open_del + s.gap_extend_del * (i + 1));
+        return v > 0 ? v : 0;
+    };
+    auto row_init = [&](int j) { // H(-1, j)
+        const int v =
+            h0 - (s.gap_open_ins + s.gap_extend_ins * (j + 1));
+        return v > 0 ? v : 0;
+    };
+
+    // lscore accumulator state (row-wise max with BWA tie-breaking) and
+    // gscore accumulator (right-edge crossings in row order).
+    std::vector<int> row_max(static_cast<size_t>(tlen), 0);
+    std::vector<int> row_mj(static_cast<size_t>(tlen), -1);
+    int gscore = -1, gtle_i = -1;
+
+    const int wavefronts = tlen + qlen - 1;
+    uint64_t pe_cycles = 0;
+    int peak_active = 0;
+    for (int t = 0; t < wavefronts; ++t) {
+        int active = 0;
+        std::fill(h0v.begin(), h0v.end(), 0);
+        std::fill(m0v.begin(), m0v.end(), 0);
+        std::fill(e0v.begin(), e0v.end(), 0);
+        std::fill(f0v.begin(), f0v.end(), 0);
+        // Cells on this wavefront share i + j = t and i - j = o with the
+        // same parity as t.
+        const int o_min = std::max({-w, t - 2 * (qlen - 1), -t});
+        const int o_max = std::min({w, 2 * (tlen - 1) - t, t});
+        for (int o = o_min; o <= o_max; ++o) {
+            if (((o - t) & 1) != 0)
+                continue;
+            const int i = (t + o) / 2;
+            const int j = (t - o) / 2;
+            const int u = o + w;
+            ++active;
+            ++pe_cycles;
+
+            // Diagonal input from this PE's own registers (two steps
+            // back), or the initialization network at the matrix edges.
+            int diag;
+            if (i == 0 && j == 0)
+                diag = h0;
+            else if (i == 0)
+                diag = row_init(j - 1);
+            else if (j == 0)
+                diag = col_init(i - 1);
+            else
+                diag = h2[u];
+            const int m_val =
+                diag ? diag + s.score(target[i], query[j]) : 0;
+
+            // E from the neighbor PE one step back (cell (i-1, j)).
+            int e_val = 0;
+            if (i > 0 && o - 1 >= -w) {
+                e_val = std::max(
+                    {e1[u - 1] - s.gap_extend_del,
+                     m1[u - 1] - oe_del, 0});
+            }
+            // F from the other neighbor (cell (i, j-1)).
+            int f_val = 0;
+            if (j > 0 && o + 1 <= w) {
+                f_val = std::max(
+                    {f1[u + 1] - s.gap_extend_ins,
+                     m1[u + 1] - oe_ins, 0});
+            }
+            const int h = std::max({m_val, e_val, f_val});
+            h0v[u] = h;
+            m0v[u] = m_val;
+            e0v[u] = e_val;
+            f0v[u] = f_val;
+
+            // Accumulators: cells of one row arrive in increasing j, so
+            // ">=" reproduces BWA's last-j-wins row tie-break; right-edge
+            // crossings arrive in increasing i.
+            if (h >= row_max[i]) {
+                row_max[i] = h;
+                row_mj[i] = j;
+            }
+            if (j == qlen - 1 && gscore < h) {
+                gscore = h;
+                gtle_i = i;
+            }
+        }
+        peak_active = std::max(peak_active, active);
+        std::swap(h2, h1);
+        std::swap(m2, m1);
+        std::swap(h1, h0v);
+        std::swap(m1, m0v);
+        std::swap(e1, e0v);
+        std::swap(f1, f0v);
+    }
+
+    // Drain: reduce the row maxima with BWA's cross-row rule.
+    int max = h0, max_i = -1, max_j = -1, max_off = 0;
+    for (int i = 0; i < tlen; ++i) {
+        if (row_max[i] > max) {
+            max = row_max[i];
+            max_i = i;
+            max_j = row_mj[i];
+            max_off = std::max(max_off, std::abs(max_j - i));
+        }
+    }
+    res.score = max;
+    res.qle = max_j + 1;
+    res.tle = max_i + 1;
+    res.gscore = gscore;
+    res.gtle = gtle_i + 1;
+    res.max_off = max_off;
+
+    if (stats) {
+        stats->wavefronts = static_cast<uint64_t>(wavefronts);
+        stats->pe_cycles = pe_cycles;
+        stats->peak_active = peak_active;
+        stats->cycles = static_cast<uint64_t>(w + 1) +
+                        static_cast<uint64_t>(wavefronts) +
+                        static_cast<uint64_t>(8 + (w + 1) / 2);
+    }
+    return res;
+}
+
+} // namespace seedex

@@ -1,0 +1,66 @@
+#ifndef SEEDEX_HW_PE_ARRAY_H
+#define SEEDEX_HW_PE_ARRAY_H
+
+#include <cstdint>
+
+#include "align/extend.h"
+#include "genome/sequence.h"
+
+namespace seedex {
+
+/** Telemetry of one extension on the PE-array simulation. */
+struct PeArrayStats
+{
+    /** Wavefront steps executed (anti-diagonals swept). */
+    uint64_t wavefronts = 0;
+    /** PE-cycles consumed (cells actually evaluated). */
+    uint64_t pe_cycles = 0;
+    /** Total cycles including shift-register fill and reduction drain. */
+    uint64_t cycles = 0;
+    /** Peak PEs active in one wavefront (must be <= peCount). */
+    int peak_active = 0;
+};
+
+/**
+ * Cycle-by-cycle functional simulation of the BSW systolic array
+ * (Fig. 8), independent of the software kernel.
+ *
+ * The array holds w+1 PEs, one per band diagonal (PE k owns the cells
+ * with i - j = k - ... marching along the matrix's main diagonal). Each
+ * wavefront step t computes the band's slice of anti-diagonal i + j = t:
+ *  - the H value of the up-left neighbor arrives from the PE's own
+ *    registers two steps earlier (score registers),
+ *  - E arrives from the neighbor PE one step earlier (score E channel),
+ *  - F from the other neighbor one step earlier (score F channel),
+ *  - boundary PEs receive the progressive initialization values that the
+ *    paper injects through the E/F channels with a special input symbol.
+ * The local-score (lscore) and global-score (gscore) accumulators apply
+ * BWA's exact row-major tie-breaking during the drain phase.
+ *
+ * There is NO row trimming here (a fixed array computes its whole band),
+ * so the reference semantics are extendOracleBanded, not kswExtend; the
+ * speculative-termination machinery of SystolicBswCore models the
+ * trimming separately.
+ */
+class PeArraySim
+{
+  public:
+    explicit PeArraySim(int band, Scoring scoring = Scoring::bwaDefault())
+        : band_(band), scoring_(scoring)
+    {}
+
+    /** Execute one extension on the array. */
+    ExtendResult run(const Sequence &query, const Sequence &target, int h0,
+                     PeArrayStats *stats = nullptr) const;
+
+    int band() const { return band_; }
+    int peCount() const { return band_ + 1; }
+
+  private:
+    int band_;
+    Scoring scoring_;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_HW_PE_ARRAY_H

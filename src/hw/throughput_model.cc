@@ -1,0 +1,56 @@
+#include "hw/throughput_model.h"
+
+namespace seedex {
+
+WorkloadProfile
+WorkloadProfile::measure(const std::vector<ExtensionJob> &jobs, int w,
+                         const Scoring &scoring)
+{
+    WorkloadProfile profile;
+    SystolicBswCore core(w, scoring);
+    double qsum = 0, rsum = 0;
+    for (const auto &job : jobs) {
+        BswCoreStats stats;
+        core.run(job.query, job.target, job.h0, &stats);
+        qsum += static_cast<double>(job.query.size());
+        rsum += stats.rows_processed;
+        ++profile.jobs;
+    }
+    if (profile.jobs) {
+        profile.avg_query_len = qsum / static_cast<double>(profile.jobs);
+        profile.avg_rows = rsum / static_cast<double>(profile.jobs);
+    }
+    return profile;
+}
+
+ThroughputReport
+ThroughputModel::evaluate(const AcceleratorConfig &config,
+                          const WorkloadProfile &profile) const
+{
+    ThroughputReport report;
+    SystolicBswCore core(config.w);
+    report.cycles_per_extension = static_cast<double>(core.latencyCycles(
+        static_cast<int>(profile.avg_rows),
+        static_cast<int>(profile.avg_query_len)));
+    report.latency_us =
+        report.cycles_per_extension / config.clock_hz * 1e6;
+
+    const double per_core =
+        config.clock_hz / report.cycles_per_extension;
+    // Accepted extensions leave the device; the ~2 % rerun tail is
+    // overlapped on host CPU across batches (§VII-A), costing only its
+    // share of accelerator slots.
+    report.extensions_per_sec =
+        per_core * config.bsw_cores * (1.0 - config.rerun_fraction);
+
+    report.compute_luts =
+        static_cast<uint64_t>(config.bsw_cores) *
+            areas_.bswCoreLuts(config.w) +
+        static_cast<uint64_t>(config.edit_cores) *
+            areas_.editCoreLuts(config.w);
+    report.ext_per_sec_per_mlut = report.extensions_per_sec /
+        (static_cast<double>(report.compute_luts) / 1e6);
+    return report;
+}
+
+} // namespace seedex

@@ -1,0 +1,105 @@
+#include "seedex/checks.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace seedex {
+
+Thresholds
+computeThresholds(int qlen, int w, int h0, const Scoring &s,
+                  ExtensionKind kind)
+{
+    // The paper's formulation assumes the symmetric {m,x,go,ge} scheme; we
+    // bound with the cheaper of the directional penalties so the
+    // thresholds stay upper bounds for asymmetric schemes too.
+    const int go = std::min(s.gap_open_ins, s.gap_open_del);
+    const int ge = std::min(s.gap_extend_ins, s.gap_extend_del);
+    const int mult = kind == ExtensionKind::Global ? 2 : 1;
+    Thresholds t;
+    const int gap = mult * (go + w * ge);
+    t.s1 = h0 - gap + (qlen - w) * s.match;
+    t.s2 = h0 - gap + qlen * s.match;
+    return t;
+}
+
+int
+eScoreBound(const BandEdgeTrace &trace, int qlen, int match)
+{
+    int bound = 0;
+    const int n = static_cast<int>(trace.boundary_e.size());
+    for (int j = 0; j < n && j < qlen; ++j) {
+        const int e = trace.boundary_e[j];
+        if (e <= 0)
+            continue; // dead crossing (zero-floored kernel semantics)
+        bound = std::max(bound, e + (qlen - j - 1) * match);
+    }
+    return bound;
+}
+
+EditCheckResult
+editCheck(const Sequence &query, const Sequence &target, int w, int h0,
+          const Scoring &affine, const Scoring &relaxed)
+{
+    EditCheckResult res;
+    const int qlen = static_cast<int>(query.size());
+    const int tlen = static_cast<int>(target.size());
+    if (tlen < w + 2)
+        return res; // trapezoid empty: nothing below the band
+
+    // The relaxed scheme has zero gap-open cost, so the affine E/F
+    // channels collapse into the plain three-neighbor recurrence
+    //   D(i,j) = max(diag + s, up - ge_del, left - ge_ins)
+    // -- exactly the single-channel PE the hardware edit machine builds
+    // (§IV-B: dropping the E/F register files is the first optimization).
+    // The DP is *unfloored*: every path the zero-floored kernel can score
+    // is present with an equal-or-better relaxed score, and no artificial
+    // floor inflates the bound, so it is both sound and tighter.
+    constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+    const int ge_del = relaxed.gap_open_del + relaxed.gap_extend_del;
+    const int ge_ins = relaxed.gap_open_ins + relaxed.gap_extend_ins;
+
+    std::vector<int> prev(qlen, kNegInf), cur(qlen, kNegInf);
+
+    // True kernel initialization of the virtual left column, H(i,-1).
+    auto col_init = [&](int i) {
+        return h0 -
+               (affine.gap_open_del + affine.gap_extend_del * (i + 1));
+    };
+
+    for (int i = w + 1; i < tlen; ++i) {
+        const int jmax = std::min(i - (w + 1), qlen - 1);
+        for (int j = 0; j <= jmax; ++j) {
+            // Diagonal: virtual left column for j == 0 (a left-edge
+            // entry), otherwise the region cell (i-1, j-1).
+            const int diag = j == 0 ? col_init(i - 1) : prev[j - 1];
+            int d = diag == kNegInf
+                ? kNegInf
+                : diag + relaxed.score(target[i], query[j]);
+            // Up: only from region cells (band crossings are path (1),
+            // covered by the E-score check).
+            if (i - j >= w + 2 && prev[j] != kNegInf)
+                d = std::max(d, prev[j] - ge_del);
+            // Left: within-region insertion.
+            if (j > 0 && cur[j - 1] != kNegInf)
+                d = std::max(d, cur[j - 1] - ge_ins);
+            cur[j] = d;
+
+            if (d > 0) {
+                res.region_max = std::max(res.region_max, d);
+                if (i - j == w + 1) { // boundary cell: can exit to band
+                    res.exit_bound = std::max(
+                        res.exit_bound,
+                        d + (qlen - j - 1) * affine.match);
+                }
+                if (j == qlen - 1)
+                    res.gscore_bound = std::max(res.gscore_bound, d);
+            }
+        }
+        std::swap(prev, cur);
+        std::fill(cur.begin(), cur.begin() + (jmax + 1), kNegInf);
+    }
+    return res;
+}
+
+} // namespace seedex

@@ -1,0 +1,107 @@
+#ifndef SEEDEX_SEEDEX_CHECKS_H
+#define SEEDEX_SEEDEX_CHECKS_H
+
+#include "align/extend.h"
+#include "align/scoring.h"
+#include "genome/sequence.h"
+
+namespace seedex {
+
+/** Alignment scope the thresholds are derived for (§III-A). */
+enum class ExtensionKind
+{
+    SemiGlobal, ///< query end-to-end, reference ends free (BWA-MEM kernel)
+    Global,     ///< both strings end-to-end (threshold gap terms doubled)
+};
+
+/**
+ * The two theoretical upper-bound scores of the thresholding mechanism
+ * (§III-A, Fig. 5).
+ *
+ * s1 bounds every alignment that strays to the insertion side of the band
+ * (query chars burned by the gap: only N-w matches remain). s2 bounds the
+ * deletion side (deletions consume no query: all N chars can still match),
+ * hence s2 = s1 + w*m is the stricter test.
+ */
+struct Thresholds
+{
+    int s1 = 0;
+    int s2 = 0;
+};
+
+/**
+ * Compute S1/S2 per paper Eq. 4-5:
+ *   S1 = h0 - [go + w*ge] + [N - w]*m
+ *   S2 = h0 - [go + w*ge] + N*m
+ * For global alignment the gap terms are doubled (both ends penalized).
+ *
+ * @param qlen  Query length N.
+ * @param w     Narrow-band half-width.
+ * @param h0    Initial seed score.
+ */
+Thresholds computeThresholds(int qlen, int w, int h0, const Scoring &scoring,
+                             ExtensionKind kind = ExtensionKind::SemiGlobal);
+
+/**
+ * E-score check bound (§III-C, Eq. 6): the optimistic best score of any
+ * path crossing the band's deletion-side boundary via the E channel.
+ * For the boundary cell below query column j (which has consumed j+1 query
+ * chars), the bound is E(j+w+1, j) + (N-j-1)*m; zero E values are dead
+ * paths in the kernel's zero-floored semantics and are skipped.
+ *
+ * @param trace Band-edge E values exported by kswExtend.
+ * @param qlen  Query length N.
+ * @param match Match reward m.
+ * @return scoreMaxE; 0 if no live crossing exists.
+ */
+int eScoreBound(const BandEdgeTrace &trace, int qlen, int match);
+
+/**
+ * Result of the edit-distance (trapezoid) check DP (§III-D, §IV-B).
+ *
+ * All bounds cover only paths that *enter the below-band trapezoid from
+ * the matrix's left edge* (paper path (2)); paths crossing the band's
+ * boundary (path (1)) are covered by the E-score check.
+ */
+struct EditCheckResult
+{
+    /** Best optimistic score achievable inside the trapezoid. */
+    int region_max = 0;
+    /** Best optimistic score of a path exiting the trapezoid back into the
+     *  band (exit value plus all-match continuation). */
+    int exit_bound = 0;
+    /** Best optimistic score at the query-end column inside the trapezoid
+     *  (the gscore guard input for strict mode). */
+    int gscore_bound = 0;
+
+    /** The single score the paper's workflow compares (scoreed). */
+    int scoreEd() const { return std::max(region_max, exit_bound); }
+};
+
+/**
+ * Run the edit-machine check: a relaxed-edit-distance DP over the
+ * below-band trapezoid {(i,j) : i - j >= w+1}.
+ *
+ * Left-edge cells are seeded with the kernel's true initialization
+ * h0 - (go_del + (i+1)*ge_del) (the progressive initialization both the
+ * BSW core and the edit machine implement in hardware); every transition
+ * inside the region uses the relaxed scheme, which dominates the affine
+ * scheme per edit, so the result upper-bounds the true score of every
+ * left-entry path. The paper instead seeds a single corner cell with S1;
+ * our per-cell seeding is tighter and still hardware-trivial (see
+ * DESIGN.md).
+ *
+ * @param query   Query codes.
+ * @param target  Reference codes.
+ * @param w       Narrow-band half-width the BSW core used.
+ * @param h0      Initial seed score.
+ * @param affine  The true scoring scheme (left-edge seeds + match reward).
+ * @param relaxed The optimistic scheme (defaults to Scoring::relaxedEdit()).
+ */
+EditCheckResult editCheck(const Sequence &query, const Sequence &target,
+                          int w, int h0, const Scoring &affine,
+                          const Scoring &relaxed = Scoring::relaxedEdit());
+
+} // namespace seedex
+
+#endif // SEEDEX_SEEDEX_CHECKS_H

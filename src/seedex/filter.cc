@@ -1,0 +1,158 @@
+#include "seedex/filter.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+void
+FilterStats::add(const FilterOutcome &o)
+{
+    ++total;
+    switch (o.verdict) {
+      case Verdict::PassS2: ++pass_s2; break;
+      case Verdict::PassChecks: ++pass_checks; break;
+      case Verdict::FailS1: ++fail_s1; break;
+      case Verdict::FailEScore: ++fail_e; break;
+      case Verdict::FailEditCheck: ++fail_edit; break;
+      case Verdict::FailGscoreGuard: ++fail_gscore_guard; break;
+    }
+    if (o.ran_edit_machine)
+        ++edit_machine_runs;
+}
+
+double
+FilterStats::passRate() const
+{
+    return total == 0
+        ? 0.0
+        : static_cast<double>(pass_s2 + pass_checks) /
+              static_cast<double>(total);
+}
+
+double
+FilterStats::thresholdPassRate() const
+{
+    return total == 0
+        ? 0.0
+        : static_cast<double>(pass_s2) / static_cast<double>(total);
+}
+
+FilterOutcome
+SeedExFilter::run(const Sequence &query, const Sequence &target,
+                  int h0) const
+{
+    FilterOutcome out;
+    const int qlen = static_cast<int>(query.size());
+
+    BandEdgeTrace trace;
+    ExtendConfig cfg;
+    cfg.scoring = config_.scoring;
+    cfg.band = config_.band;
+    cfg.zdrop = config_.zdrop;
+    cfg.edge_trace = &trace;
+    out.narrow = kswExtend(query, target, h0, cfg);
+
+    out.thresholds = computeThresholds(qlen, config_.band, h0,
+                                       config_.scoring, config_.kind);
+    const int score = out.narrow.score;
+
+    // Stage 1: thresholding (§III-A). Below S1 the score is so small the
+    // narrow band clearly missed the action; rerun on the host.
+    if (score <= out.thresholds.s1) {
+        out.verdict = Verdict::FailS1;
+        return out;
+    }
+
+    // The strict gscore guard needs the check bounds even when the score
+    // clears S2, so compute lazily but share between stages.
+    auto computeEBound = [&] {
+        return eScoreBound(trace, qlen, config_.scoring.match);
+    };
+    auto computeEdit = [&] {
+        return editCheck(query, target, config_.band, h0, config_.scoring);
+    };
+
+    Verdict verdict;
+    if (score > out.thresholds.s2) {
+        // Stage 2a: the stricter threshold already proves optimality of
+        // the best score (§III-A case b).
+        verdict = Verdict::PassS2;
+    } else {
+        // Stage 2b: S1 < score <= S2 (§III-A case c): apply the checks.
+        if (!config_.enable_e_check) {
+            out.verdict = Verdict::FailEScore;
+            return out;
+        }
+        out.score_max_e = computeEBound();
+        if (out.score_max_e >= score) {
+            out.verdict = Verdict::FailEScore;
+            return out;
+        }
+        if (!config_.enable_edit_check) {
+            out.verdict = Verdict::FailEditCheck;
+            return out;
+        }
+        out.ran_edit_machine = true;
+        out.edit = computeEdit();
+        if (out.edit.scoreEd() >= score) {
+            out.verdict = Verdict::FailEditCheck;
+            return out;
+        }
+        verdict = Verdict::PassChecks;
+    }
+
+    if (config_.strict_gscore) {
+        // Bit-equivalence guard for the to-query-end score: no outside
+        // path may reach the query end with a score >= gscore_nb, or the
+        // full-band kernel would report a different gscore/gtle.
+        // Outside paths are bounded by S2 overall (deletion side; the
+        // insertion side is bounded by the smaller S1), so a gscore
+        // clearing S2 needs no further work -- the common case for clean
+        // extensions, which keeps the edit machine on the paper's ~1/3
+        // duty cycle.
+        const int gscore = out.narrow.gscore;
+        if (gscore <= out.thresholds.s2) {
+            const int e_bound =
+                out.score_max_e ? out.score_max_e : computeEBound();
+            out.score_max_e = e_bound;
+            if (!out.ran_edit_machine) {
+                out.edit = computeEdit();
+                out.ran_edit_machine = true;
+            }
+            const int outside_gscore_bound = std::max(
+                {out.thresholds.s1, e_bound,
+                 std::max(out.edit.exit_bound, out.edit.gscore_bound)});
+            // Strict '<=': a tie on gscore from outside would still flip
+            // gtle, so it must rerun as well.
+            if (outside_gscore_bound > 0 &&
+                gscore <= outside_gscore_bound) {
+                out.verdict = Verdict::FailGscoreGuard;
+                return out;
+            }
+        }
+    }
+
+    out.verdict = verdict;
+    return out;
+}
+
+ExtendResult
+SeedExFilter::runWithRerun(const Sequence &query, const Sequence &target,
+                           int h0, FilterStats *stats) const
+{
+    FilterOutcome outcome = run(query, target, h0);
+    if (stats)
+        stats->add(outcome);
+    if (outcome.isAccepted())
+        return outcome.narrow;
+
+    // Host rerun with BWA-MEM's conservatively estimated full band.
+    ExtendConfig cfg;
+    cfg.scoring = config_.scoring;
+    cfg.band = estimateFullBand(static_cast<int>(query.size()),
+                                config_.scoring, config_.end_bonus);
+    cfg.zdrop = config_.zdrop;
+    return kswExtend(query, target, h0, cfg);
+}
+
+} // namespace seedex

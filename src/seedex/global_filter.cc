@@ -1,0 +1,71 @@
+#include "seedex/global_filter.h"
+
+#include <algorithm>
+
+namespace seedex {
+
+namespace {
+
+/**
+ * Sound upper bound on the score of any global path that touches a cell
+ * outside the band (|i - j| > w), for query length N and target length M.
+ *
+ * Deletion-side excursion (i - j >= w+1): the path carries >= w+1
+ * deletions and, because the corner fixes the net offset at M - N, at
+ * least (w+1) - (M-N) insertions; all N query chars may still match.
+ * Insertion-side excursion: >= w+1 insertions (burning w+1 query chars)
+ * and >= (w+1) + (M-N) deletions.
+ * This refines the paper's simplified doubled-gap formulation (Theorem 1
+ * for global alignment) to asymmetric lengths.
+ */
+int
+globalOutsideBound(int qlen, int tlen, int w, const Scoring &s)
+{
+    const int net = tlen - qlen; // >= -w .. band admits the corner
+    auto gap_cost = [&](int dels, int ins) {
+        int cost = 0;
+        if (dels > 0)
+            cost += s.gap_open_del + s.gap_extend_del * dels;
+        if (ins > 0)
+            cost += s.gap_open_ins + s.gap_extend_ins * ins;
+        return cost;
+    };
+    // Deletion side.
+    const int del_side =
+        qlen * s.match - gap_cost(w + 1, std::max(0, (w + 1) - net));
+    // Insertion side.
+    const int ins_side = (qlen - (w + 1)) * s.match -
+                         gap_cost(std::max(0, (w + 1) + net), w + 1);
+    return std::max(del_side, ins_side);
+}
+
+} // namespace
+
+GlobalFillOutcome
+GlobalSeedExFilter::run(const Sequence &query, const Sequence &target) const
+{
+    GlobalFillOutcome out;
+    const int qlen = static_cast<int>(query.size());
+    const int tlen = static_cast<int>(target.size());
+    const int min_band = std::abs(qlen - tlen);
+    const int band = std::max(config_.band, min_band);
+
+    out.alignment =
+        globalAlignBanded(query, target, config_.scoring, band);
+    out.thresholds = computeThresholds(qlen, band, 0, config_.scoring,
+                                       ExtensionKind::Global);
+    const int bound =
+        globalOutsideBound(qlen, tlen, band, config_.scoring);
+    out.guaranteed = out.alignment.score > bound;
+    out.band_used = band;
+    if (!out.guaranteed) {
+        out.rerun = true;
+        const int full = std::max(qlen, tlen);
+        out.alignment =
+            globalAlignBanded(query, target, config_.scoring, full);
+        out.band_used = full;
+    }
+    return out;
+}
+
+} // namespace seedex

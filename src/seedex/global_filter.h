@@ -1,0 +1,65 @@
+#ifndef SEEDEX_SEEDEX_GLOBAL_FILTER_H
+#define SEEDEX_SEEDEX_GLOBAL_FILTER_H
+
+#include <cstdint>
+
+#include "align/dp.h"
+#include "seedex/checks.h"
+
+namespace seedex {
+
+/**
+ * SeedEx for *global* alignment: the "seed-and-chain-then-fill" kernel of
+ * long-read aligners (§VII-D: minimap2 fills the gaps between chained
+ * seeds with banded Needleman-Wunsch; SeedEx "can be directly applied to
+ * this kernel, performing optimal global alignment with a small area").
+ *
+ * The thresholding mechanism carries over with doubled gap terms (both
+ * string ends are penalized, Theorem 1): any path leaving the band pays
+ * a > w gap and, on the insertion side, loses w matches — so a banded
+ * global score strictly above the global S2 threshold is optimal.
+ */
+struct GlobalFillConfig
+{
+    Scoring scoring = Scoring::bwaDefault();
+    /** Band half-width of the speculative pass. */
+    int band = 16;
+};
+
+/** Outcome of one speculative banded global alignment. */
+struct GlobalFillOutcome
+{
+    Alignment alignment;
+    Thresholds thresholds;
+    /** True if the banded score cleared the global S2 threshold. */
+    bool guaranteed = false;
+    /** True if the full-band rerun was needed. */
+    bool rerun = false;
+    /** Band used by the final alignment. */
+    int band_used = 0;
+};
+
+/**
+ * Speculative banded global alignment with the optimality test and a
+ * full-band rerun on failure. The returned alignment always scores the
+ * same as an unbanded Needleman-Wunsch.
+ */
+class GlobalSeedExFilter
+{
+  public:
+    explicit GlobalSeedExFilter(GlobalFillConfig config = {})
+        : config_(config)
+    {}
+
+    GlobalFillOutcome run(const Sequence &query,
+                          const Sequence &target) const;
+
+    const GlobalFillConfig &config() const { return config_; }
+
+  private:
+    GlobalFillConfig config_;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_SEEDEX_GLOBAL_FILTER_H

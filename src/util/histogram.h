@@ -1,0 +1,137 @@
+#ifndef SEEDEX_UTIL_HISTOGRAM_H
+#define SEEDEX_UTIL_HISTOGRAM_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seedex {
+
+/**
+ * Integer-valued histogram with exact counts per value.
+ *
+ * Used by the band-distribution experiment (Fig. 2) and the passing-rate
+ * sweeps, where the domain (band sizes 0..~200) is small enough that an
+ * exact map is simpler and more faithful than bucketed approximations.
+ */
+class Histogram
+{
+  public:
+    /** Record one observation of `value`. */
+    void
+    add(int64_t value)
+    {
+        ++counts_[value];
+        ++total_;
+    }
+
+    /** Number of observations recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Count of observations with value <= v. */
+    uint64_t
+    countAtMost(int64_t v) const
+    {
+        uint64_t n = 0;
+        for (const auto &[value, count] : counts_) {
+            if (value > v)
+                break;
+            n += count;
+        }
+        return n;
+    }
+
+    /** Fraction (0..1) of observations with value <= v. */
+    double
+    fractionAtMost(int64_t v) const
+    {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(countAtMost(v)) / total_;
+    }
+
+    /** Count of observations with lo <= value <= hi. */
+    uint64_t
+    countInRange(int64_t lo, int64_t hi) const
+    {
+        uint64_t n = 0;
+        for (const auto &[value, count] : counts_) {
+            if (value > hi)
+                break;
+            if (value >= lo)
+                n += count;
+        }
+        return n;
+    }
+
+    /** Smallest value v such that fractionAtMost(v) >= q (q in (0,1]). */
+    int64_t
+    quantile(double q) const
+    {
+        const uint64_t target =
+            static_cast<uint64_t>(q * static_cast<double>(total_));
+        uint64_t seen = 0;
+        for (const auto &[value, count] : counts_) {
+            seen += count;
+            if (seen >= target)
+                return value;
+        }
+        return counts_.empty() ? 0 : counts_.rbegin()->first;
+    }
+
+    /** Largest recorded value (0 if empty). */
+    int64_t
+    max() const
+    {
+        return counts_.empty() ? 0 : counts_.rbegin()->first;
+    }
+
+    /** Mean of recorded values. */
+    double
+    mean() const
+    {
+        if (total_ == 0)
+            return 0.0;
+        double sum = 0;
+        for (const auto &[value, count] : counts_)
+            sum += static_cast<double>(value) * static_cast<double>(count);
+        return sum / static_cast<double>(total_);
+    }
+
+    /** Access raw (value -> count) pairs in ascending value order. */
+    const std::map<int64_t, uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::map<int64_t, uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/** Running mean/min/max accumulator for floating-point series. */
+class RunningStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    uint64_t n_ = 0;
+    double sum_ = 0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_UTIL_HISTOGRAM_H

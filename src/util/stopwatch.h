@@ -1,0 +1,66 @@
+#ifndef SEEDEX_UTIL_STOPWATCH_H
+#define SEEDEX_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+namespace seedex {
+
+/**
+ * Monotonic wall-clock stopwatch used by the pipeline timing model and the
+ * benchmark harness. Accumulates across start/stop pairs so a stage's time
+ * can be summed over many batches.
+ */
+class Stopwatch
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Begin (or resume) timing. */
+    void start() { begin_ = Clock::now(); running_ = true; }
+
+    /** Stop timing and fold the elapsed interval into the total. */
+    void
+    stop()
+    {
+        if (running_) {
+            total_ += Clock::now() - begin_;
+            running_ = false;
+        }
+    }
+
+    /** Reset the accumulated total. */
+    void reset() { total_ = {}; running_ = false; }
+
+    /** Accumulated seconds (includes the live interval if running). */
+    double
+    seconds() const
+    {
+        auto t = total_;
+        if (running_)
+            t += Clock::now() - begin_;
+        return std::chrono::duration<double>(t).count();
+    }
+
+  private:
+    Clock::time_point begin_{};
+    Clock::duration total_{};
+    bool running_ = false;
+};
+
+/** RAII guard that accumulates its scope's duration into a stopwatch. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Stopwatch &watch) : watch_(watch) { watch_.start(); }
+    ~ScopedTimer() { watch_.stop(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Stopwatch &watch_;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_UTIL_STOPWATCH_H

@@ -1,0 +1,72 @@
+#include "table.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace seedex {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths across header and rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            out << cell << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t rule = 0;
+        for (size_t w : widths)
+            rule += w + 2;
+        out << std::string(rule, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string buf(needed > 0 ? static_cast<size_t>(needed) : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(buf.data(), buf.size() + 1, fmt, args);
+    va_end(args);
+    return buf;
+}
+
+} // namespace seedex

@@ -1,0 +1,36 @@
+#ifndef SEEDEX_UTIL_TABLE_H
+#define SEEDEX_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace seedex {
+
+/**
+ * Minimal aligned-column text table used by the benchmark harness to print
+ * rows in the same shape as the paper's tables and figure series.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (cells already formatted). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table with padded columns and a header rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace seedex
+
+#endif // SEEDEX_UTIL_TABLE_H

@@ -1,0 +1,473 @@
+#include <gtest/gtest.h>
+
+#include "align/cigar.h"
+#include "align/dp.h"
+#include "align/extend.h"
+#include "align/scoring.h"
+#include "genome/read_sim.h"
+#include "genome/reference.h"
+#include "util/rng.h"
+
+namespace seedex {
+namespace {
+
+Sequence
+randomSeq(Rng &rng, size_t len)
+{
+    std::vector<Base> b(len);
+    for (auto &x : b)
+        x = static_cast<Base>(rng.pick(4));
+    return Sequence(std::move(b));
+}
+
+/** Mutate `src` with the given number of subs/indels, for realistic pairs. */
+Sequence
+mutate(Rng &rng, const Sequence &src, int subs, int indels)
+{
+    std::vector<Base> out(src.begin(), src.end());
+    for (int k = 0; k < subs && !out.empty(); ++k) {
+        const size_t i = rng.pick(out.size());
+        out[i] = static_cast<Base>((out[i] + 1 + rng.pick(3)) % 4);
+    }
+    for (int k = 0; k < indels && out.size() > 2; ++k) {
+        const size_t i = rng.pick(out.size());
+        if (rng.coin(0.5))
+            out.insert(out.begin() + i, static_cast<Base>(rng.pick(4)));
+        else
+            out.erase(out.begin() + i);
+    }
+    return Sequence(std::move(out));
+}
+
+// ---------------------------------------------------------------- Scoring
+
+TEST(Scoring, DefaultsMatchBwa)
+{
+    const Scoring s = Scoring::bwaDefault();
+    EXPECT_EQ(s.match, 1);
+    EXPECT_EQ(s.mismatch, 4);
+    EXPECT_EQ(s.gap_open_del, 6);
+    EXPECT_EQ(s.gap_extend_ins, 1);
+}
+
+TEST(Scoring, SubstitutionScores)
+{
+    const Scoring s = Scoring::bwaDefault();
+    EXPECT_EQ(s.score(kBaseA, kBaseA), 1);
+    EXPECT_EQ(s.score(kBaseA, kBaseC), -4);
+    // N never matches, even against N.
+    EXPECT_EQ(s.score(kBaseN, kBaseN), -4);
+}
+
+TEST(Scoring, RelaxedEditDominatesAffineAndEdit)
+{
+    EXPECT_TRUE(Scoring::relaxedEdit().dominates(Scoring::bwaDefault()));
+    EXPECT_TRUE(Scoring::relaxedEdit().dominates(Scoring::editDistance()));
+    EXPECT_TRUE(Scoring::editDistance().dominates(Scoring::bwaDefault()));
+    EXPECT_FALSE(Scoring::bwaDefault().dominates(Scoring::editDistance()));
+}
+
+// ------------------------------------------------------------------ Cigar
+
+TEST(Cigar, PushMergesRuns)
+{
+    Cigar c;
+    c.push('M', 3);
+    c.push('M', 2);
+    c.push('I', 1);
+    EXPECT_EQ(c.toString(), "5M1I");
+}
+
+TEST(Cigar, StringRoundTrip)
+{
+    const std::string text = "3S10M2D5M1I4M";
+    EXPECT_EQ(Cigar::fromString(text).toString(), text);
+    EXPECT_EQ(Cigar().toString(), "*");
+}
+
+TEST(Cigar, Lengths)
+{
+    const Cigar c = Cigar::fromString("2S10M3D4I1M");
+    EXPECT_EQ(c.queryLength(), 2 + 10 + 4 + 1);
+    EXPECT_EQ(c.referenceLength(), 10 + 3 + 1);
+}
+
+TEST(Cigar, Reversed)
+{
+    EXPECT_EQ(Cigar::fromString("3M1D2M").reversed().toString(), "2M1D3M");
+}
+
+TEST(Cigar, RejectsGarbage)
+{
+    EXPECT_THROW(Cigar::fromString("3Q"), std::runtime_error);
+    EXPECT_THROW(Cigar::fromString("M"), std::runtime_error);
+    EXPECT_THROW(Cigar::fromString("12"), std::runtime_error);
+}
+
+TEST(Cigar, ScoreCigarReplaysAlignment)
+{
+    const Scoring s = Scoring::bwaDefault();
+    const Sequence q = Sequence::fromString("ACGTAC");
+    const Sequence t = Sequence::fromString("ACGTAC");
+    EXPECT_EQ(scoreCigar(Cigar::fromString("6M"), q, t, s), 6);
+    // One mismatch in the middle.
+    const Sequence t2 = Sequence::fromString("ACCTAC");
+    EXPECT_EQ(scoreCigar(Cigar::fromString("6M"), q, t2, s), 5 - 4);
+}
+
+// ---------------------------------------------------------------- alignFull
+
+TEST(AlignFull, GlobalPerfectMatch)
+{
+    const Sequence q = Sequence::fromString("ACGTACGT");
+    const Alignment a = alignFull(q, q, Scoring::bwaDefault(),
+                                  AlignMode::Global);
+    EXPECT_EQ(a.score, 8);
+    EXPECT_EQ(a.cigar.toString(), "8M");
+}
+
+TEST(AlignFull, GlobalSingleMismatch)
+{
+    const Sequence q = Sequence::fromString("ACGTACGT");
+    const Sequence t = Sequence::fromString("ACGAACGT");
+    const Alignment a = alignFull(q, t, Scoring::bwaDefault(),
+                                  AlignMode::Global);
+    EXPECT_EQ(a.score, 7 - 4);
+    EXPECT_EQ(a.cigar.toString(), "8M");
+}
+
+TEST(AlignFull, GlobalDeletion)
+{
+    // Target has 2 extra chars: 2-long deletion in the query.
+    const Sequence q = Sequence::fromString("ACGTACGT");
+    const Sequence t = Sequence::fromString("ACGTTTACGT");
+    const Alignment a = alignFull(q, t, Scoring::bwaDefault(),
+                                  AlignMode::Global);
+    EXPECT_EQ(a.score, 8 - (6 + 2 * 1));
+    EXPECT_EQ(a.cigar.queryLength(), 8);
+    EXPECT_EQ(a.cigar.referenceLength(), 10);
+    EXPECT_EQ(scoreCigar(a.cigar, q, t, Scoring::bwaDefault()), a.score);
+}
+
+TEST(AlignFull, GlobalInsertion)
+{
+    const Sequence q = Sequence::fromString("ACGTTTACGT");
+    const Sequence t = Sequence::fromString("ACGTACGT");
+    const Alignment a = alignFull(q, t, Scoring::bwaDefault(),
+                                  AlignMode::Global);
+    EXPECT_EQ(a.score, 8 - (6 + 2));
+    EXPECT_EQ(scoreCigar(a.cigar, q, t, Scoring::bwaDefault()), a.score);
+}
+
+TEST(AlignFull, LocalFindsEmbeddedMatch)
+{
+    const Sequence q = Sequence::fromString("TTTTACGTACGTTTTT");
+    const Sequence t = Sequence::fromString("GGGGGACGTACGGGGG");
+    const Alignment a = alignFull(q, t, Scoring::bwaDefault(),
+                                  AlignMode::Local);
+    // The longest shared substring is "ACGTACG".
+    EXPECT_EQ(a.score, 7);
+    // Trace must replay to the same score on the aligned slices.
+    const Sequence qs = q.slice(a.query_begin, a.query_end - a.query_begin);
+    const Sequence ts = t.slice(a.ref_begin, a.ref_end - a.ref_begin);
+    EXPECT_EQ(scoreCigar(a.cigar, qs, ts, Scoring::bwaDefault()), a.score);
+}
+
+TEST(AlignFull, LocalNeverNegative)
+{
+    const Sequence q = Sequence::fromString("AAAA");
+    const Sequence t = Sequence::fromString("CCCC");
+    const Alignment a = alignFull(q, t, Scoring::bwaDefault(),
+                                  AlignMode::Local);
+    EXPECT_EQ(a.score, 0);
+}
+
+TEST(AlignFull, SemiGlobalConsumesWholeQuery)
+{
+    const Sequence q = Sequence::fromString("ACGTAC");
+    const Sequence t = Sequence::fromString("GGGGACGTACGGGG");
+    const Alignment a = alignFull(q, t, Scoring::bwaDefault(),
+                                  AlignMode::SemiGlobal);
+    EXPECT_EQ(a.score, 6);
+    EXPECT_EQ(a.query_begin, 0);
+    EXPECT_EQ(a.query_end, 6);
+    EXPECT_EQ(a.ref_end - a.ref_begin, 6);
+}
+
+TEST(AlignFull, GlobalTracebackConsumesBothStrings)
+{
+    Rng rng(41);
+    for (int it = 0; it < 25; ++it) {
+        const Sequence t = randomSeq(rng, 30 + rng.pick(40));
+        const Sequence q = mutate(rng, t, 3, 2);
+        const Alignment a = alignFull(q, t, Scoring::bwaDefault(),
+                                      AlignMode::Global);
+        EXPECT_EQ(a.cigar.queryLength(), static_cast<int>(q.size()));
+        EXPECT_EQ(a.cigar.referenceLength(), static_cast<int>(t.size()));
+        EXPECT_EQ(scoreCigar(a.cigar, q, t, Scoring::bwaDefault()), a.score);
+    }
+}
+
+// ------------------------------------------------------- globalAlignBanded
+
+TEST(GlobalBanded, MatchesFullWhenBandIsWide)
+{
+    Rng rng(43);
+    for (int it = 0; it < 25; ++it) {
+        const Sequence t = randomSeq(rng, 40 + rng.pick(30));
+        const Sequence q = mutate(rng, t, 2, 2);
+        const Alignment full = alignFull(q, t, Scoring::bwaDefault(),
+                                         AlignMode::Global);
+        const Alignment banded = globalAlignBanded(q, t,
+                                                   Scoring::bwaDefault(),
+                                                   100);
+        EXPECT_EQ(banded.score, full.score);
+        EXPECT_EQ(scoreCigar(banded.cigar, q, t, Scoring::bwaDefault()),
+                  banded.score);
+    }
+}
+
+TEST(GlobalBanded, ThrowsWhenBandExcludesCorner)
+{
+    const Sequence q = Sequence::fromString("ACGTACGTAC");
+    const Sequence t = Sequence::fromString("ACG");
+    EXPECT_THROW(globalAlignBanded(q, t, Scoring::bwaDefault(), 3),
+                 std::runtime_error);
+}
+
+TEST(GlobalBanded, NarrowBandScoreNeverExceedsFull)
+{
+    Rng rng(47);
+    for (int it = 0; it < 25; ++it) {
+        const Sequence t = randomSeq(rng, 50);
+        const Sequence q = mutate(rng, t, 3, 3);
+        const int min_band =
+            std::abs(static_cast<int>(q.size()) -
+                     static_cast<int>(t.size()));
+        const Alignment full = alignFull(q, t, Scoring::bwaDefault(),
+                                         AlignMode::Global);
+        const Alignment banded = globalAlignBanded(
+            q, t, Scoring::bwaDefault(), min_band + 1);
+        EXPECT_LE(banded.score, full.score);
+    }
+}
+
+// ---------------------------------------------------------------- kswExtend
+
+TEST(KswExtend, PerfectMatch)
+{
+    const Sequence q = Sequence::fromString("ACGTACGTAC");
+    ExtendConfig cfg;
+    const ExtendResult r = kswExtend(q, q, 10, cfg);
+    EXPECT_EQ(r.score, 10 + 10);
+    EXPECT_EQ(r.qle, 10);
+    EXPECT_EQ(r.tle, 10);
+    EXPECT_EQ(r.gscore, 20);
+    EXPECT_EQ(r.max_off, 0);
+}
+
+TEST(KswExtend, MismatchTailClips)
+{
+    // Query: 6 matches then 4 mismatches: local max stops at 6.
+    const Sequence q = Sequence::fromString("ACGTACTTTT");
+    const Sequence t = Sequence::fromString("ACGTACGGGG");
+    const ExtendResult r = kswExtend(q, t, 10, {});
+    EXPECT_EQ(r.score, 16);
+    EXPECT_EQ(r.qle, 6);
+    // Best to-query-end path: 6 matches then a 4-base insertion
+    // (16 - (6+4)), beating the 4-mismatch diagonal (16 - 16).
+    EXPECT_EQ(r.gscore, 6);
+}
+
+TEST(KswExtend, ShortTailPrefersClipOverGap)
+{
+    // After a 2-base deletion only 4 matches remain; the gap (6+2) costs
+    // more than they earn, so the local max clips at the prefix.
+    const Sequence q = Sequence::fromString("ACGTACGT");
+    const Sequence t = Sequence::fromString("ACGTTTACGT");
+    const ExtendResult r = kswExtend(q, t, 30, {});
+    EXPECT_EQ(r.score, 30 + 4);
+    EXPECT_EQ(r.qle, 4);
+    EXPECT_EQ(r.gscore, 30 + 8 - (6 + 2));
+}
+
+TEST(KswExtend, DeletionScoredAsGap)
+{
+    // 20 matches on each side of a 2-base deletion: the gap pays off.
+    const Sequence left = Sequence::fromString("ACGGTCAAGGCTTACGGATC");
+    const Sequence right = Sequence::fromString("TTGCATTGCATGCAGGCATA");
+    Sequence q = left;
+    q.append(right);
+    Sequence t = left;
+    t.append(Sequence::fromString("CC"));
+    t.append(right);
+    const ExtendResult r = kswExtend(q, t, 30, {});
+    EXPECT_EQ(r.score, 30 + 40 - (6 + 2));
+    EXPECT_EQ(r.qle, 40);
+    EXPECT_EQ(r.tle, 42);
+    EXPECT_EQ(r.gscore, r.score);
+    EXPECT_EQ(r.max_off, 2);
+}
+
+TEST(KswExtend, NarrowBandMissesWideDeletion)
+{
+    // 12-base deletion needs w >= 12; w = 5 must lose the tail.
+    const Sequence left = Sequence::fromString("ACGTACGTACGTACGTACGT");
+    const Sequence right = Sequence::fromString("TTGCATTGCATGCAGGCATA");
+    Sequence q = left;
+    q.append(right);
+    Sequence t = left;
+    t.append(Sequence::fromString("CCCCCCCCCCCC"));
+    t.append(right);
+
+    ExtendConfig narrow;
+    narrow.band = 5;
+    ExtendConfig wide;
+    wide.band = 1000;
+    const ExtendResult rn = kswExtend(q, t, 50, narrow);
+    const ExtendResult rw = kswExtend(q, t, 50, wide);
+    EXPECT_LT(rn.score, rw.score);
+    EXPECT_EQ(rw.score, 50 + 40 - (6 + 12));
+    EXPECT_EQ(rw.max_off, 12);
+}
+
+TEST(KswExtend, BandLimitsMaxOff)
+{
+    Rng rng(53);
+    for (int it = 0; it < 20; ++it) {
+        const Sequence t = randomSeq(rng, 120);
+        const Sequence q = mutate(rng, t.slice(0, 101), 3, 3);
+        ExtendConfig cfg;
+        cfg.band = 7;
+        const ExtendResult r = kswExtend(q, t, 40, cfg);
+        EXPECT_LE(r.max_off, 7);
+    }
+}
+
+TEST(KswExtend, ZdropTerminatesDivergentTail)
+{
+    Sequence q = Sequence::fromString(std::string(30, 'A'));
+    q.append(Sequence::fromString(std::string(60, 'C')));
+    Sequence t = Sequence::fromString(std::string(30, 'A'));
+    t.append(Sequence::fromString(std::string(60, 'G')));
+    // The E channel decays at ge per row, so the zdrop margin saturates
+    // near oe = 7; a threshold below that fires once the divergent tail
+    // drifts, exactly as in BWA's kernel.
+    ExtendConfig cfg;
+    cfg.zdrop = 5;
+    const ExtendResult r = kswExtend(q, t, 20, cfg);
+    EXPECT_TRUE(r.zdropped);
+    EXPECT_EQ(r.score, 20 + 30);
+    // A generous threshold must not fire on the same input.
+    cfg.zdrop = 50;
+    EXPECT_FALSE(kswExtend(q, t, 20, cfg).zdropped);
+}
+
+TEST(KswExtend, EmptyInputsReturnSeedScore)
+{
+    const Sequence empty;
+    const Sequence q = Sequence::fromString("ACGT");
+    EXPECT_EQ(kswExtend(empty, q, 7, {}).score, 7);
+    EXPECT_EQ(kswExtend(q, empty, 7, {}).score, 7);
+}
+
+/** Property: the faithful kernel and the plain full-matrix oracle agree
+ *  on every output when the kernel is unbanded. */
+class KswOracleProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(KswOracleProperty, UnbandedKernelMatchesOracle)
+{
+    Rng rng(1000 + GetParam());
+    ReferenceParams rp;
+    rp.length = 20000;
+    const Sequence ref = generateReference(rp, rng);
+    ReadSimParams sp;
+    sp.long_indel_read_fraction = 0.15; // stress wide events
+    ReadSimulator sim(ref, sp);
+    for (int it = 0; it < 40; ++it) {
+        const SimulatedRead read = sim.simulate(rng, it);
+        // Emulate a right-extension: query = read suffix, target = ref
+        // window starting at the same point.
+        const size_t split = 10 + rng.pick(40);
+        const Sequence q = read.reverse
+            ? read.seq.reverseComplement().slice(split, 101)
+            : read.seq.slice(split, 101);
+        const Sequence t = ref.slice(read.true_pos + split, q.size() + 60);
+        const int h0 = static_cast<int>(split);
+
+        const ExtendResult kernel = kswExtend(q, t, h0, {});
+        const ExtendResult oracle =
+            extendOracle(q, t, h0, Scoring::bwaDefault());
+        EXPECT_EQ(kernel.score, oracle.score);
+        EXPECT_EQ(kernel.qle, oracle.qle);
+        EXPECT_EQ(kernel.tle, oracle.tle);
+        EXPECT_EQ(kernel.gscore, oracle.gscore);
+        EXPECT_EQ(kernel.gtle, oracle.gtle);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KswOracleProperty,
+                         ::testing::Range(0, 8));
+
+/** Property: narrow-band scores never exceed the unbanded score, and grow
+ *  monotonically with the band. */
+class BandMonotonicity : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BandMonotonicity, ScoreMonotoneInBand)
+{
+    Rng rng(2000 + GetParam());
+    const Sequence t = randomSeq(rng, 160);
+    const Sequence q = mutate(rng, t.slice(0, 120), 4, 6);
+    int prev = -1;
+    for (int w : {0, 2, 5, 10, 20, 40, 80, 160}) {
+        ExtendConfig cfg;
+        cfg.band = w;
+        const int score = kswExtend(q, t, 30, cfg).score;
+        EXPECT_GE(score, prev) << "band " << w;
+        prev = score;
+    }
+    const int full = kswExtend(q, t, 30, {}).score;
+    EXPECT_EQ(prev, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandMonotonicity, ::testing::Range(0, 8));
+
+TEST(EstimateFullBand, MatchesBwaFormulaShape)
+{
+    const int w = estimateFullBand(101, Scoring::bwaDefault());
+    // (101*1 - 6)/1 + 1 = 96.
+    EXPECT_EQ(w, 96);
+    EXPECT_GT(estimateFullBand(151, Scoring::bwaDefault()), w);
+    EXPECT_EQ(estimateFullBand(101, Scoring::bwaDefault(), 5), 101);
+}
+
+// ------------------------------------------------------------- Levenshtein
+
+TEST(Levenshtein, KnownCases)
+{
+    const auto s = [](const char *x) { return Sequence::fromString(x); };
+    EXPECT_EQ(levenshtein(s("ACGT"), s("ACGT")), 0);
+    EXPECT_EQ(levenshtein(s("ACGT"), s("AGGT")), 1);
+    EXPECT_EQ(levenshtein(s("ACGT"), s("ACT")), 1);
+    EXPECT_EQ(levenshtein(s("ACGT"), s("")), 4);
+    EXPECT_EQ(levenshtein(s(""), s("AC")), 2);
+    EXPECT_EQ(levenshtein(s("GGGG"), s("TTTT")), 4);
+}
+
+TEST(Levenshtein, SymmetricAndTriangle)
+{
+    Rng rng(59);
+    for (int it = 0; it < 20; ++it) {
+        const Sequence a = randomSeq(rng, 20 + rng.pick(20));
+        const Sequence b = randomSeq(rng, 20 + rng.pick(20));
+        const Sequence c = randomSeq(rng, 20 + rng.pick(20));
+        EXPECT_EQ(levenshtein(a, b), levenshtein(b, a));
+        EXPECT_LE(levenshtein(a, c),
+                  levenshtein(a, b) + levenshtein(b, c));
+    }
+}
+
+} // namespace
+} // namespace seedex

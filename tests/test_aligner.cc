@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include "aligner/pipeline.h"
+#include "aligner/timing_model.h"
+#include "genome/read_sim.h"
+#include "genome/reference.h"
+#include "util/rng.h"
+
+namespace seedex {
+namespace {
+
+class AlignerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(201);
+        ReferenceParams params;
+        params.length = 200000;
+        params.repeat_fraction = 0.03;
+        ref_ = generateReference(params, rng);
+    }
+
+    std::vector<std::pair<std::string, Sequence>>
+    simulateReads(size_t count, ReadSimParams sp, uint64_t seed,
+                  std::vector<SimulatedRead> *truth = nullptr)
+    {
+        Rng rng(seed);
+        ReadSimulator sim(ref_, sp);
+        std::vector<std::pair<std::string, Sequence>> reads;
+        for (size_t i = 0; i < count; ++i) {
+            SimulatedRead r = sim.simulate(rng, i);
+            reads.emplace_back(r.name, r.seq);
+            if (truth)
+                truth->push_back(std::move(r));
+        }
+        return reads;
+    }
+
+    Sequence ref_;
+};
+
+// ---------------------------------------------------------------- Seeding
+
+TEST_F(AlignerFixture, SeedsCoverTruePosition)
+{
+    Rng rng(203);
+    FmdIndex index(ref_);
+    SeedingParams params;
+    for (int it = 0; it < 10; ++it) {
+        const size_t pos = rng.pick(ref_.size() - 101);
+        const Sequence read = ref_.slice(pos, 101);
+        const auto seeds = collectSeeds(index, read, params);
+        ASSERT_FALSE(seeds.empty());
+        bool found = false;
+        for (const Seed &s : seeds) {
+            found |= !s.reverse &&
+                     s.rbeg - std::min<uint64_t>(s.rbeg, s.qbeg) ==
+                         pos - std::min<uint64_t>(pos, 0) &&
+                     s.rbeg == pos + static_cast<uint64_t>(s.qbeg);
+        }
+        EXPECT_TRUE(found) << "no seed on the true diagonal";
+    }
+}
+
+TEST_F(AlignerFixture, ReverseReadsYieldReverseSeeds)
+{
+    Rng rng(205);
+    FmdIndex index(ref_);
+    const size_t pos = rng.pick(ref_.size() - 101);
+    const Sequence read = ref_.slice(pos, 101).reverseComplement();
+    const auto seeds = collectSeeds(index, read, {});
+    ASSERT_FALSE(seeds.empty());
+    bool reverse_diag = false;
+    for (const Seed &s : seeds)
+        reverse_diag |= s.reverse && s.rbeg == pos + s.qbeg;
+    EXPECT_TRUE(reverse_diag);
+}
+
+// --------------------------------------------------------------- Chaining
+
+TEST(Chaining, ColinearSeedsMerge)
+{
+    std::vector<Seed> seeds{
+        {0, 20, 1000, false, 1},
+        {25, 20, 1027, false, 1}, // small consistent gap
+        {50, 30, 1050, false, 1},
+    };
+    const auto chains = chainSeeds(seeds, {});
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].seeds.size(), 3u);
+    EXPECT_EQ(chains[0].weight, 70);
+}
+
+TEST(Chaining, DifferentLociSplit)
+{
+    std::vector<Seed> seeds{
+        {0, 30, 1000, false, 1},
+        {0, 30, 90000, false, 1}, // far away locus
+    };
+    const auto chains = chainSeeds(seeds, {});
+    EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(Chaining, StrandsNeverMix)
+{
+    std::vector<Seed> seeds{
+        {0, 30, 1000, false, 1},
+        {35, 30, 1035, true, 1},
+    };
+    const auto chains = chainSeeds(seeds, {});
+    EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(Chaining, DiagonalDriftLimited)
+{
+    ChainingParams params;
+    params.max_diag_diff = 10;
+    std::vector<Seed> seeds{
+        {0, 20, 1000, false, 1},
+        {20, 20, 1100, false, 1}, // 80 off-diagonal: separate chain
+    };
+    const auto chains = chainSeeds(seeds, params);
+    EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(Chaining, WeakOverlappedChainsMasked)
+{
+    ChainingParams params;
+    std::vector<Seed> seeds{
+        {0, 80, 1000, false, 1},  // strong chain
+        {10, 25, 50000, false, 1} // weak chain inside its query span
+    };
+    const auto chains = chainSeeds(seeds, params);
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].weight, 80);
+}
+
+TEST(Chaining, AnchorIsLongestSeed)
+{
+    Chain chain;
+    chain.seeds = {{0, 20, 0, false, 1}, {30, 45, 30, false, 1},
+                   {80, 21, 80, false, 1}};
+    EXPECT_EQ(chain.anchor().len, 45);
+}
+
+// ------------------------------------------------------ End-to-end pipeline
+
+TEST_F(AlignerFixture, CleanReadsAlignPerfectly)
+{
+    PipelineConfig config;
+    Aligner aligner(ref_, config);
+    Rng rng(207);
+    for (int it = 0; it < 15; ++it) {
+        const size_t pos = rng.pick(ref_.size() - 101);
+        const Sequence read = ref_.slice(pos, 101);
+        const SamRecord rec = aligner.alignRead("r", read);
+        ASSERT_TRUE(rec.mapped());
+        EXPECT_EQ(rec.pos, pos);
+        EXPECT_EQ(rec.cigar.toString(), "101M");
+        EXPECT_GE(rec.score, 101);
+    }
+}
+
+TEST_F(AlignerFixture, SimulatedReadsMapToTruth)
+{
+    PipelineConfig config;
+    Aligner aligner(ref_, config);
+    std::vector<SimulatedRead> truth;
+    ReadSimParams sp; // defaults: errors + occasional indels
+    const auto reads = simulateReads(120, sp, 209, &truth);
+    PipelineStats stats;
+    const auto records = aligner.alignBatch(reads, &stats);
+    ASSERT_EQ(records.size(), reads.size());
+    size_t correct = 0, mapped = 0;
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (!records[i].mapped())
+            continue;
+        ++mapped;
+        const bool strand_ok =
+            ((records[i].flag & kSamFlagReverse) != 0) ==
+            truth[i].reverse;
+        const int64_t delta =
+            static_cast<int64_t>(records[i].pos) -
+            static_cast<int64_t>(truth[i].true_pos);
+        correct += strand_ok && std::llabs(delta) <= 45;
+    }
+    EXPECT_GT(mapped, reads.size() * 95 / 100);
+    EXPECT_GT(correct, mapped * 95 / 100);
+    EXPECT_GT(stats.extensions, 0u);
+    EXPECT_GT(stats.times.total(), 0.0);
+}
+
+TEST_F(AlignerFixture, ReverseStrandRecordStoresRevComp)
+{
+    PipelineConfig config;
+    Aligner aligner(ref_, config);
+    Rng rng(211);
+    const size_t pos = rng.pick(ref_.size() - 101);
+    const Sequence fwd = ref_.slice(pos, 101);
+    const Sequence read = fwd.reverseComplement();
+    const SamRecord rec = aligner.alignRead("r", read);
+    ASSERT_TRUE(rec.mapped());
+    EXPECT_TRUE(rec.flag & kSamFlagReverse);
+    EXPECT_EQ(rec.pos, pos);
+    EXPECT_EQ(rec.seq, fwd.toString());
+}
+
+TEST_F(AlignerFixture, MapqSeparatesUniqueFromRepeat)
+{
+    // Plant an exact repeat, then reads from it should get low mapq.
+    Sequence ref = ref_;
+    const Sequence unit = ref.slice(1000, 300);
+    for (size_t i = 0; i < unit.size(); ++i)
+        ref[150000 + i] = unit[i];
+    PipelineConfig config;
+    Aligner aligner(ref, config);
+
+    const SamRecord unique_rec =
+        aligner.alignRead("u", ref.slice(50000, 101));
+    const SamRecord repeat_rec =
+        aligner.alignRead("r", ref.slice(1100, 101));
+    ASSERT_TRUE(unique_rec.mapped());
+    ASSERT_TRUE(repeat_rec.mapped());
+    EXPECT_GT(unique_rec.mapq, repeat_rec.mapq);
+    EXPECT_LE(repeat_rec.mapq, 10);
+}
+
+TEST_F(AlignerFixture, SamRenderShape)
+{
+    PipelineConfig config;
+    Aligner aligner(ref_, config);
+    const SamRecord rec = aligner.alignRead("q0", ref_.slice(777, 101));
+    const std::string line = rec.render();
+    // 1-based position and mandatory columns present.
+    EXPECT_NE(line.find("q0\t0\tref\t778\t"), std::string::npos);
+    EXPECT_NE(line.find("101M"), std::string::npos);
+    EXPECT_NE(line.find("AS:i:"), std::string::npos);
+}
+
+TEST_F(AlignerFixture, UnmappableReadReportedUnmapped)
+{
+    PipelineConfig config;
+    Aligner aligner(ref_, config);
+    // A read of all-As is unlikely to have a 19-mer exact match in a
+    // GC-balanced random reference... but possible; use a fixed junk
+    // pattern with period 2 instead and verify the flag when unmapped.
+    Sequence junk;
+    for (int i = 0; i < 101; ++i)
+        junk.push_back(i % 2 ? kBaseA : kBaseT);
+    const SamRecord rec = aligner.alignRead("junk", junk);
+    if (!rec.mapped()) {
+        EXPECT_EQ(rec.cigar.toString(), "*");
+        EXPECT_NE(rec.render().find("\t4\t"), std::string::npos);
+    }
+}
+
+// ------------------------- The paper's claim at application level (Fig 13)
+
+class PipelineEquivalence : public AlignerFixture,
+                            public ::testing::WithParamInterface<int>
+{};
+
+TEST_P(PipelineEquivalence, SeedExPipelineBitEquivalentToFullBand)
+{
+    const int band = GetParam();
+    std::vector<SimulatedRead> truth;
+    ReadSimParams sp;
+    sp.long_indel_read_fraction = 0.05;
+    sp.long_indel_max = 70; // SV-scale events stress the checks
+    const auto reads = simulateReads(80, sp, 300 + band, &truth);
+
+    PipelineConfig base;
+    base.engine = EngineKind::FullBand;
+    Aligner baseline(ref_, base);
+    const auto expected = baseline.alignBatch(reads);
+
+    PipelineConfig sx;
+    sx.engine = EngineKind::SeedEx;
+    sx.band = band;
+    Aligner seedex_aligner(ref_, sx);
+    PipelineStats stats;
+    const auto got = seedex_aligner.alignBatch(reads, &stats);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(got[i].sameAlignment(expected[i]))
+            << "read " << i << "\n  full: " << expected[i].render()
+            << "\n  seedex: " << got[i].render();
+    }
+    EXPECT_GT(stats.filter.total, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, PipelineEquivalence,
+                         ::testing::Values(5, 10, 41, 100));
+
+TEST_F(AlignerFixture, PlainBandedPipelineDivergesAtSmallBand)
+{
+    // The motivation for the checks: without them a narrow band changes
+    // outputs (Fig. 13's BSW curve).
+    std::vector<SimulatedRead> truth;
+    ReadSimParams sp;
+    sp.long_indel_read_fraction = 0.3; // force wide-band events
+    const auto reads = simulateReads(60, sp, 401, &truth);
+
+    PipelineConfig base;
+    Aligner baseline(ref_, base);
+    const auto expected = baseline.alignBatch(reads);
+
+    PipelineConfig banded;
+    banded.engine = EngineKind::Banded;
+    banded.band = 5;
+    Aligner narrow(ref_, banded);
+    const auto got = narrow.alignBatch(reads);
+
+    size_t diffs = 0;
+    for (size_t i = 0; i < got.size(); ++i)
+        diffs += !got[i].sameAlignment(expected[i]);
+    EXPECT_GT(diffs, 0u);
+}
+
+// ------------------------------------------------------------ Fig17 model
+
+TEST(TimingModel, NormalizedBarsAndSpeedups)
+{
+    EndToEndInputs in;
+    in.software = {4.0, 5.0, 1.0};
+    in.seedex_device_seconds = 0.3;
+    in.rerun_seconds = 0.1;
+    in.seeding_accel_factor = 8.0;
+    const auto bars = buildFig17(in);
+    ASSERT_EQ(bars.size(), 6u);
+    EXPECT_NEAR(bars[0].total(), 1.0, 1e-9); // BWA-MEM normalized
+    // Acceleration monotonicity within each family.
+    EXPECT_LT(bars[1].total(), bars[0].total());
+    EXPECT_LT(bars[2].total(), bars[1].total());
+    EXPECT_LT(bars[4].total(), bars[3].total());
+    EXPECT_LT(bars[5].total(), bars[4].total());
+    // Fully accelerated BWA-MEM beats software by a large factor.
+    EXPECT_GT(bars[0].total() / bars[2].total(), 2.0);
+    // With only SeedEx, seeding dominates (the §VII-B bottleneck shift).
+    EXPECT_GT(bars[1].seeding, bars[1].extension);
+}
+
+} // namespace
+} // namespace seedex

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aligner/longread.h"
+#include "apps/dtw.h"
+#include "apps/lcs.h"
+#include "genome/read_sim.h"
+#include "genome/reference.h"
+#include "seedex/global_filter.h"
+#include "util/rng.h"
+
+namespace seedex {
+namespace {
+
+std::vector<double>
+randomSeries(Rng &rng, size_t len)
+{
+    std::vector<double> s(len);
+    double v = 0;
+    for (auto &x : s) {
+        v += (rng.uniform() - 0.5);
+        x = v;
+    }
+    return s;
+}
+
+/** Warp a series: local time stretches plus noise. */
+std::vector<double>
+warpSeries(Rng &rng, const std::vector<double> &src, double stretch_p,
+           double noise)
+{
+    std::vector<double> out;
+    for (double x : src) {
+        out.push_back(x + (rng.uniform() - 0.5) * noise);
+        while (rng.coin(stretch_p))
+            out.push_back(x + (rng.uniform() - 0.5) * noise);
+    }
+    return out;
+}
+
+// -------------------------------------------------------------------- DTW
+
+TEST(Dtw, IdenticalSeriesCostZero)
+{
+    Rng rng(11);
+    const auto a = randomSeries(rng, 50);
+    EXPECT_DOUBLE_EQ(dtwFull(a, a).cost, 0.0);
+    EXPECT_DOUBLE_EQ(dtwBanded(a, a, 3).cost, 0.0);
+}
+
+TEST(Dtw, KnownSmallCase)
+{
+    // a = [0,1,2], b = [0,2]: pair 0-0, 1-2 (cost 1), 2-2.
+    const std::vector<double> a{0, 1, 2}, b{0, 2};
+    EXPECT_DOUBLE_EQ(dtwFull(a, b).cost, 1.0);
+}
+
+TEST(Dtw, BandedNeverBeatsFull)
+{
+    Rng rng(13);
+    for (int it = 0; it < 20; ++it) {
+        const auto a = randomSeries(rng, 30 + rng.pick(30));
+        const auto b = warpSeries(rng, a, 0.2, 0.3);
+        const DtwResult full = dtwFull(a, b);
+        for (int w :
+             {static_cast<int>(rng.pick(10)) +
+                  std::abs(static_cast<int>(a.size()) -
+                           static_cast<int>(b.size())),
+              50}) {
+            const DtwResult banded = dtwBanded(a, b, w);
+            if (!banded.infeasible) {
+                EXPECT_GE(banded.cost, full.cost - 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Dtw, InfeasibleWindowReported)
+{
+    const std::vector<double> a(10, 0.0), b(30, 0.0);
+    EXPECT_TRUE(dtwBanded(a, b, 5).infeasible);
+}
+
+TEST(Dtw, OutsideBoundIsAdmissible)
+{
+    // The lower bound must never exceed the true cost of a band-leaving
+    // path; verify against series engineered to leave the band.
+    Rng rng(17);
+    for (int it = 0; it < 20; ++it) {
+        auto a = randomSeries(rng, 40);
+        // b = a with a long stall (forces warping far off-diagonal).
+        std::vector<double> b(a.begin(), a.begin() + 10);
+        for (int k = 0; k < 25; ++k)
+            b.push_back(a[10]);
+        b.insert(b.end(), a.begin() + 10, a.end());
+        const int w = 6;
+        const double lb = dtwOutsideLowerBound(a, b, w);
+        const DtwResult full = dtwFull(a, b);
+        // The optimal path here must leave the band, so LB <= full cost.
+        EXPECT_LE(lb, full.cost + 1e-9);
+    }
+}
+
+class DtwCheckedProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DtwCheckedProperty, CheckedAlwaysOptimal)
+{
+    Rng rng(1900 + GetParam());
+    for (int it = 0; it < 25; ++it) {
+        const auto a = randomSeries(rng, 25 + rng.pick(40));
+        const auto b = rng.coin(0.5) ? warpSeries(rng, a, 0.15, 0.2)
+                                     : randomSeries(rng, 25 + rng.pick(40));
+        const int w = std::abs(static_cast<int>(a.size()) -
+                               static_cast<int>(b.size())) +
+                      1 + static_cast<int>(rng.pick(12));
+        const DtwCheckedResult checked = dtwChecked(a, b, w);
+        const DtwResult full = dtwFull(a, b);
+        EXPECT_NEAR(checked.result.cost, full.cost, 1e-9)
+            << "window " << w << (checked.rerun ? " (rerun)" : "");
+        if (checked.guaranteed) {
+            EXPECT_FALSE(checked.rerun);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtwCheckedProperty, ::testing::Range(0, 6));
+
+TEST(Dtw, TrendingSeriesGuaranteedWithSavings)
+{
+    // Monotone (trending) series make off-window pairings expensive, so
+    // the outside lower bound has teeth and the windowed result is
+    // certified without a rerun -- the DTW analogue of the SeedEx win.
+    Rng rng(19);
+    std::vector<double> a(200), b;
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<double>(i) + (rng.uniform() - 0.5) * 0.04;
+    b = a;
+    for (double &x : b)
+        x += (rng.uniform() - 0.5) * 0.04;
+    const DtwCheckedResult checked = dtwChecked(a, b, 15);
+    EXPECT_TRUE(checked.guaranteed);
+    EXPECT_FALSE(checked.rerun);
+    const DtwResult full = dtwFull(a, b);
+    EXPECT_NEAR(checked.result.cost, full.cost, 1e-9);
+    EXPECT_LT(checked.result.cells, full.cells);
+}
+
+// -------------------------------------------------------------------- LCS
+
+TEST(Lcs, KnownCases)
+{
+    EXPECT_EQ(lcsFull("ABCBDAB", "BDCABA").length, 4); // BCBA
+    EXPECT_EQ(lcsFull("", "ABC").length, 0);
+    EXPECT_EQ(lcsFull("AAAA", "AAAA").length, 4);
+    EXPECT_EQ(lcsFull("ABC", "DEF").length, 0);
+}
+
+TEST(Lcs, BandedNeverExceedsFull)
+{
+    Rng rng(23);
+    const char alpha[] = "ACGT";
+    for (int it = 0; it < 25; ++it) {
+        std::string a, b;
+        for (size_t k = 0; k < 40 + rng.pick(40); ++k)
+            a.push_back(alpha[rng.pick(4)]);
+        for (size_t k = 0; k < 40 + rng.pick(40); ++k)
+            b.push_back(alpha[rng.pick(4)]);
+        const int full = lcsFull(a, b).length;
+        for (int w : {2, 8, 20, 200}) {
+            EXPECT_LE(lcsBanded(a, b, w).length, full);
+        }
+        EXPECT_EQ(lcsBanded(a, b, 200).length, full);
+    }
+}
+
+class LcsCheckedProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LcsCheckedProperty, CheckedAlwaysOptimal)
+{
+    Rng rng(2100 + GetParam());
+    const char alpha[] = "ACGT";
+    for (int it = 0; it < 30; ++it) {
+        std::string a;
+        for (size_t k = 0; k < 30 + rng.pick(60); ++k)
+            a.push_back(alpha[rng.pick(4)]);
+        // Mutate a into b for high similarity half the time.
+        std::string b;
+        if (rng.coin(0.5)) {
+            b = a;
+            for (int m = 0; m < 6; ++m) {
+                const size_t p = rng.pick(b.size());
+                if (rng.coin(0.5))
+                    b[p] = alpha[rng.pick(4)];
+                else
+                    b.erase(p, 1);
+            }
+        } else {
+            for (size_t k = 0; k < 30 + rng.pick(60); ++k)
+                b.push_back(alpha[rng.pick(4)]);
+        }
+        const int w = 2 + static_cast<int>(rng.pick(15));
+        const LcsCheckedResult checked = lcsChecked(a, b, w);
+        EXPECT_EQ(checked.result.length, lcsFull(a, b).length)
+            << "w " << w << " a " << a << " b " << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcsCheckedProperty, ::testing::Range(0, 6));
+
+TEST(Lcs, SimilarStringsGuaranteedAtSmallBand)
+{
+    // Near-identical strings pass the check at a small band.
+    const std::string a(120, 'A');
+    std::string b = a;
+    b[60] = 'C';
+    const LcsCheckedResult checked = lcsChecked(a, b, 4);
+    EXPECT_TRUE(checked.guaranteed);
+    EXPECT_EQ(checked.result.length, 119);
+}
+
+// ---------------------------------------------------------- Global filter
+
+class GlobalFilterProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(GlobalFilterProperty, AcceptedScoresAreOptimal)
+{
+    Rng rng(2300 + GetParam());
+    int guaranteed = 0;
+    for (int it = 0; it < 40; ++it) {
+        // Gap-fill shaped inputs: similar segments with small indels.
+        std::vector<Base> tb(30 + rng.pick(120));
+        for (auto &x : tb)
+            x = static_cast<Base>(rng.pick(4));
+        std::vector<Base> qb = tb;
+        for (int m = 0; m < 4 && qb.size() > 5; ++m) {
+            const size_t p = rng.pick(qb.size());
+            if (rng.coin(0.4))
+                qb[p] = static_cast<Base>(rng.pick(4));
+            else if (rng.coin(0.5))
+                qb.erase(qb.begin() + p);
+            else
+                qb.insert(qb.begin() + p, static_cast<Base>(rng.pick(4)));
+        }
+        const Sequence q{qb}, t{tb};
+        GlobalFillConfig cfg;
+        cfg.band = 4 + static_cast<int>(rng.pick(12));
+        const GlobalSeedExFilter filter(cfg);
+        const GlobalFillOutcome out = filter.run(q, t);
+        const Alignment full = alignFull(q, t, cfg.scoring,
+                                         AlignMode::Global);
+        EXPECT_EQ(out.alignment.score, full.score)
+            << "band " << cfg.band << (out.rerun ? " (rerun)" : "");
+        guaranteed += out.guaranteed;
+    }
+    EXPECT_GT(guaranteed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobalFilterProperty,
+                         ::testing::Range(0, 6));
+
+TEST(GlobalFilter, CleanFillGuaranteedAtTinyBand)
+{
+    Rng rng(29);
+    std::vector<Base> tb(100);
+    for (auto &x : tb)
+        x = static_cast<Base>(rng.pick(4));
+    const Sequence t{tb};
+    GlobalFillConfig cfg;
+    cfg.band = 4;
+    const GlobalFillOutcome out = GlobalSeedExFilter(cfg).run(t, t);
+    EXPECT_TRUE(out.guaranteed);
+    EXPECT_FALSE(out.rerun);
+    EXPECT_EQ(out.alignment.score, 100);
+}
+
+// ------------------------------------------------------------- Long reads
+
+class LongReadFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(31);
+        ReferenceParams params;
+        params.length = 300000;
+        ref_ = generateReference(params, rng);
+        index_ = std::make_unique<FmdIndex>(ref_);
+    }
+
+    SimulatedRead
+    longRead(Rng &rng, size_t len, uint64_t id)
+    {
+        ReadSimParams p;
+        p.read_length = len;
+        p.base_error_rate = 0.01;
+        p.small_indel_rate = 0.004; // indel-dominated long-read profile
+        p.small_indel_ext = 0.4;
+        p.long_indel_read_fraction = 0.3;
+        ReadSimulator sim(ref_, p);
+        return sim.simulate(rng, id);
+    }
+
+    Sequence ref_;
+    std::unique_ptr<FmdIndex> index_;
+};
+
+TEST_F(LongReadFixture, AlignsLongReadsToTruth)
+{
+    Rng rng(37);
+    int mapped = 0, correct = 0;
+    for (int it = 0; it < 12; ++it) {
+        const SimulatedRead read = longRead(rng, 2000, it);
+        FillStats stats;
+        const LongReadAlignment aln = alignLongRead(
+            *index_, ref_, read.seq, LongReadConfig{}, &stats);
+        if (!aln.mapped)
+            continue;
+        ++mapped;
+        const int64_t delta = static_cast<int64_t>(aln.rbeg) -
+                              static_cast<int64_t>(read.true_pos);
+        correct += aln.reverse == read.reverse &&
+                   std::llabs(delta) < 2100;
+    }
+    EXPECT_GE(mapped, 10);
+    EXPECT_EQ(correct, mapped);
+}
+
+TEST_F(LongReadFixture, CigarConsistentWithSpans)
+{
+    Rng rng(41);
+    const SimulatedRead read = longRead(rng, 3000, 0);
+    const LongReadAlignment aln =
+        alignLongRead(*index_, ref_, read.seq, LongReadConfig{});
+    ASSERT_TRUE(aln.mapped);
+    EXPECT_EQ(aln.cigar.queryLength(),
+              static_cast<int>(read.seq.size()));
+    EXPECT_EQ(aln.cigar.referenceLength(),
+              static_cast<int>(aln.rend - aln.rbeg));
+}
+
+TEST_F(LongReadFixture, FillsAreMostlyGuaranteedAndSaveCells)
+{
+    Rng rng(43);
+    FillStats stats;
+    for (int it = 0; it < 10; ++it) {
+        const SimulatedRead read = longRead(rng, 4000, it);
+        alignLongRead(*index_, ref_, read.seq, LongReadConfig{}, &stats);
+    }
+    ASSERT_GT(stats.fills, 10u);
+    // The SeedEx check accepts the overwhelming majority of small-band
+    // fills (the SS VII-D use case) and the band saves real compute.
+    EXPECT_GT(static_cast<double>(stats.guaranteed) /
+                  static_cast<double>(stats.fills),
+              0.8);
+    EXPECT_GT(stats.cellsSavedFraction(), 0.2);
+}
+
+} // namespace
+} // namespace seedex

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "align/dp.h"
+#include "align/extend.h"
+#include "genome/read_sim.h"
+#include "genome/reference.h"
+#include "hw/pe_array.h"
+#include "seedex/filter.h"
+#include "seedex/global_filter.h"
+#include "util/rng.h"
+
+namespace seedex {
+namespace {
+
+/**
+ * Cross-cutting property tests over *alternative scoring schemes*: the
+ * optimality checks must stay sound for any affine scheme, not just
+ * BWA's default {1,4,6,1} (the paper derives the thresholds as a
+ * function of the scoring method, SS III-A).
+ */
+const Scoring kSchemes[] = {
+    Scoring::bwaDefault(),       // {1,4,6,1}
+    Scoring::affine(1, 2, 4, 1), // softer mismatches
+    Scoring::affine(2, 8, 12, 2),// scaled x2
+    Scoring::affine(1, 3, 5, 2), // expensive gap extension
+    Scoring::affine(1, 4, 2, 1), // cheap gap open
+};
+
+struct SchemeParam
+{
+    int scheme;
+    int band;
+};
+
+class SchemeProperty : public ::testing::TestWithParam<SchemeParam>
+{
+  protected:
+    static Sequence
+    randomSeq(Rng &rng, size_t len)
+    {
+        std::vector<Base> b(len);
+        for (auto &x : b)
+            x = static_cast<Base>(rng.pick(4));
+        return Sequence(std::move(b));
+    }
+};
+
+TEST_P(SchemeProperty, KernelMatchesOracleUnderScheme)
+{
+    const Scoring &s = kSchemes[GetParam().scheme];
+    Rng rng(8000 + GetParam().scheme * 37 + GetParam().band);
+    for (int it = 0; it < 30; ++it) {
+        const Sequence t = randomSeq(rng, 60 + rng.pick(80));
+        Sequence q = t.slice(0, 40 + rng.pick(30));
+        for (int m = 0; m < 5; ++m) { // mutate
+            const size_t p = rng.pick(q.size());
+            q[p] = static_cast<Base>((q[p] + 1 + rng.pick(3)) % 4);
+        }
+        const int h0 = 5 + static_cast<int>(rng.pick(60));
+        ExtendConfig cfg;
+        cfg.scoring = s;
+        const ExtendResult kernel = kswExtend(q, t, h0, cfg);
+        const ExtendResult oracle = extendOracle(q, t, h0, s);
+        EXPECT_EQ(kernel.score, oracle.score);
+        EXPECT_EQ(kernel.gscore, oracle.gscore);
+        EXPECT_EQ(kernel.qle, oracle.qle);
+        EXPECT_EQ(kernel.tle, oracle.tle);
+    }
+}
+
+TEST_P(SchemeProperty, FilterSoundUnderScheme)
+{
+    const SchemeParam p = GetParam();
+    const Scoring &s = kSchemes[p.scheme];
+    Rng rng(8100 + p.scheme * 41 + p.band);
+    ReferenceParams rp;
+    rp.length = 60000;
+    const Sequence ref = generateReference(rp, rng);
+    ReadSimParams sp;
+    sp.long_indel_read_fraction = 0.1;
+    sp.base_error_rate = 0.02;
+    ReadSimulator sim(ref, sp);
+    SeedExConfig cfg;
+    cfg.scoring = s;
+    cfg.band = p.band;
+    const SeedExFilter filter(cfg);
+    int accepted = 0;
+    for (int it = 0; it < 40; ++it) {
+        const SimulatedRead read = sim.simulate(rng, it);
+        const Sequence q =
+            read.reverse ? read.seq.reverseComplement() : read.seq;
+        const Sequence t = ref.slice(read.true_pos, q.size() + 50);
+        const int h0 = 1 + static_cast<int>(rng.pick(40)) * s.match;
+        const FilterOutcome out = filter.run(q, t, h0);
+        if (!out.isAccepted())
+            continue;
+        ++accepted;
+        ExtendConfig full;
+        full.scoring = s;
+        const ExtendResult truth = kswExtend(q, t, h0, full);
+        ASSERT_EQ(out.narrow.score, truth.score)
+            << "scheme " << p.scheme << " band " << p.band;
+        ASSERT_EQ(out.narrow.qle, truth.qle);
+        ASSERT_EQ(out.narrow.tle, truth.tle);
+        ASSERT_TRUE(gscoreEquivalent(out.narrow, truth));
+    }
+    EXPECT_GT(accepted, 0) << "scheme " << p.scheme;
+}
+
+TEST_P(SchemeProperty, PeArrayMatchesOracleUnderScheme)
+{
+    const SchemeParam p = GetParam();
+    const Scoring &s = kSchemes[p.scheme];
+    Rng rng(8200 + p.scheme * 43 + p.band);
+    const PeArraySim array(p.band, s);
+    for (int it = 0; it < 15; ++it) {
+        const Sequence t = randomSeq(rng, 60 + rng.pick(60));
+        Sequence q = t.slice(5, 40 + rng.pick(20));
+        for (int m = 0; m < 4; ++m) {
+            const size_t pos = rng.pick(q.size());
+            q[pos] = static_cast<Base>((q[pos] + 1 + rng.pick(3)) % 4);
+        }
+        const int h0 = 5 + static_cast<int>(rng.pick(40));
+        const ExtendResult hw = array.run(q, t, h0);
+        const ExtendResult sw = extendOracleBanded(q, t, h0, s, p.band);
+        EXPECT_EQ(hw.score, sw.score);
+        EXPECT_EQ(hw.gscore, sw.gscore);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SchemeProperty,
+    ::testing::Values(SchemeParam{0, 10}, SchemeParam{1, 10},
+                      SchemeParam{2, 10}, SchemeParam{3, 10},
+                      SchemeParam{4, 10}, SchemeParam{0, 30},
+                      SchemeParam{1, 30}, SchemeParam{2, 30},
+                      SchemeParam{3, 30}, SchemeParam{4, 30}),
+    [](const auto &info) {
+        return "scheme" + std::to_string(info.param.scheme) + "_w" +
+               std::to_string(info.param.band);
+    });
+
+// ------------------------------------------------ banded-global property
+
+class BandedGlobalProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BandedGlobalProperty, WideningBandConvergesToFull)
+{
+    Rng rng(8300 + GetParam());
+    for (int it = 0; it < 15; ++it) {
+        std::vector<Base> tv(50 + rng.pick(50));
+        for (auto &x : tv)
+            x = static_cast<Base>(rng.pick(4));
+        const Sequence t{tv};
+        std::vector<Base> qv(tv.begin(), tv.end());
+        for (int m = 0; m < 6 && qv.size() > 4; ++m) {
+            const size_t p = rng.pick(qv.size());
+            if (rng.coin(0.5))
+                qv[p] = static_cast<Base>(rng.pick(4));
+            else if (rng.coin(0.5))
+                qv.erase(qv.begin() + p);
+            else
+                qv.insert(qv.begin() + p,
+                          static_cast<Base>(rng.pick(4)));
+        }
+        const Sequence q{qv};
+        const Alignment full =
+            alignFull(q, t, Scoring::bwaDefault(), AlignMode::Global);
+        const int min_band = std::abs(static_cast<int>(q.size()) -
+                                      static_cast<int>(t.size()));
+        int prev = std::numeric_limits<int>::min();
+        for (int band = min_band + 1; band <= min_band + 40; band += 6) {
+            const Alignment banded = globalAlignBanded(
+                q, t, Scoring::bwaDefault(), band);
+            // Score is monotone in the band and converges to the full
+            // optimum; the trace always replays to its own score.
+            EXPECT_GE(banded.score, prev);
+            EXPECT_LE(banded.score, full.score);
+            EXPECT_EQ(scoreCigar(banded.cigar, q, t,
+                                 Scoring::bwaDefault()),
+                      banded.score);
+            prev = banded.score;
+        }
+        const Alignment wide =
+            globalAlignBanded(q, t, Scoring::bwaDefault(),
+                              static_cast<int>(q.size() + t.size()));
+        EXPECT_EQ(wide.score, full.score);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandedGlobalProperty,
+                         ::testing::Range(0, 5));
+
+// ----------------------------------------------- threshold admissibility
+
+TEST(ThresholdAdmissibility, S2BoundsDeletionSideByConstruction)
+{
+    // Construct alignments that must cross below the band (> w leading
+    // deletions) and verify their true scores never exceed S2 — the
+    // Theorem 1 statement, checked constructively.
+    Rng rng(8400);
+    for (int it = 0; it < 40; ++it) {
+        const int w = 4 + static_cast<int>(rng.pick(16));
+        std::vector<Base> qv(30 + rng.pick(40));
+        for (auto &x : qv)
+            x = static_cast<Base>(rng.pick(4));
+        const Sequence q{qv};
+        // Target = junk prefix (forcing > w deletions) + exact query.
+        std::vector<Base> tv;
+        const int junk = w + 1 + static_cast<int>(rng.pick(20));
+        for (int k = 0; k < junk; ++k)
+            tv.push_back(static_cast<Base>(rng.pick(4)));
+        tv.insert(tv.end(), qv.begin(), qv.end());
+        const Sequence t{tv};
+        const int h0 = 10 + static_cast<int>(rng.pick(50));
+        const Thresholds thr = computeThresholds(
+            static_cast<int>(q.size()), w, h0, Scoring::bwaDefault());
+        // Score of the deep-deletion path (cannot assume it is optimal,
+        // so evaluate it directly): h0 - (go + junk*ge) + N matches.
+        const int deep = h0 - (6 + junk) +
+                         static_cast<int>(q.size());
+        EXPECT_LE(deep, thr.s2);
+    }
+}
+
+TEST(ThresholdAdmissibility, S1BoundsInsertionSideByConstruction)
+{
+    Rng rng(8500);
+    for (int it = 0; it < 40; ++it) {
+        const int w = 4 + static_cast<int>(rng.pick(16));
+        const int ins = w + 1 + static_cast<int>(rng.pick(10));
+        const int tail = 20 + static_cast<int>(rng.pick(30));
+        const int qlen = ins + tail;
+        const int h0 = 10 + static_cast<int>(rng.pick(50));
+        const Thresholds thr =
+            computeThresholds(qlen, w, h0, Scoring::bwaDefault());
+        // Best conceivable insertion-side path: all non-inserted query
+        // chars match.
+        const int best = h0 - (6 + ins) + tail;
+        EXPECT_LE(best, thr.s1);
+    }
+}
+
+// --------------------------------------------- global filter corner cases
+
+TEST(GlobalFilterEdge, EmptyAndDegenerate)
+{
+    const GlobalSeedExFilter filter;
+    const Sequence a = Sequence::fromString("ACGT");
+    // Strongly mismatched equal-length pair: rerun path must still give
+    // the full-band score.
+    const Sequence b = Sequence::fromString("TGCA");
+    const GlobalFillOutcome out = filter.run(a, b);
+    const Alignment full =
+        alignFull(a, b, Scoring::bwaDefault(), AlignMode::Global);
+    EXPECT_EQ(out.alignment.score, full.score);
+}
+
+TEST(GlobalFilterEdge, LengthAsymmetryWidensBand)
+{
+    // band below |qlen - tlen| must be raised to admit the corner.
+    const Sequence q = Sequence::fromString("ACGTACGTACGTACGTACGT");
+    const Sequence t = Sequence::fromString("ACGT");
+    GlobalFillConfig cfg;
+    cfg.band = 2;
+    const GlobalFillOutcome out = GlobalSeedExFilter(cfg).run(q, t);
+    EXPECT_GE(out.band_used, 16);
+    const Alignment full =
+        alignFull(q, t, Scoring::bwaDefault(), AlignMode::Global);
+    EXPECT_EQ(out.alignment.score, full.score);
+}
+
+} // namespace
+} // namespace seedex

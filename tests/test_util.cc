@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace seedex {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo |= v == -3;
+        hi |= v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, CoinMatchesProbability)
+{
+    Rng rng(13);
+    int heads = 0;
+    for (int i = 0; i < 50000; ++i)
+        heads += rng.coin(0.25);
+    EXPECT_NEAR(heads / 50000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == child.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Histogram, CountsAndFractions)
+{
+    Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.add(5);
+    for (int i = 0; i < 10; ++i)
+        h.add(50);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_EQ(h.countAtMost(5), 90u);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(10), 0.9);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(50), 1.0);
+    EXPECT_EQ(h.countInRange(6, 50), 10u);
+    EXPECT_EQ(h.max(), 50);
+    EXPECT_NEAR(h.mean(), 0.9 * 5 + 0.1 * 50, 1e-9);
+}
+
+TEST(Histogram, Quantile)
+{
+    Histogram h;
+    for (int v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.quantile(0.5), 50);
+    EXPECT_EQ(h.quantile(0.98), 98);
+    EXPECT_EQ(h.quantile(1.0), 100);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(10), 0.0);
+    EXPECT_EQ(h.max(), 0);
+}
+
+TEST(RunningStats, Basics)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.add(3.0);
+    s.add(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Stopwatch, AccumulatesAcrossIntervals)
+{
+    Stopwatch w;
+    w.start();
+    w.stop();
+    const double first = w.seconds();
+    w.start();
+    w.stop();
+    EXPECT_GE(w.seconds(), first);
+    w.reset();
+    EXPECT_EQ(w.seconds(), 0.0);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"a", "long_column"});
+    t.addRow({"xx", "1"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("long_column"), std::string::npos);
+    EXPECT_NE(out.find("xx"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRowsWiderThanHeader)
+{
+    TextTable t;
+    t.setHeader({"only"});
+    t.addRow({"a", "b", "c"});
+    EXPECT_NE(t.render().find("c"), std::string::npos);
+}
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strprintf("%.2f", 1.005), "1.00");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+} // namespace
+} // namespace seedex
