@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_applications.dir/bench_ext_applications.cc.o"
+  "CMakeFiles/bench_ext_applications.dir/bench_ext_applications.cc.o.d"
+  "bench_ext_applications"
+  "bench_ext_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

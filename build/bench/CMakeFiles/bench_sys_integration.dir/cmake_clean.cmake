@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sys_integration.dir/bench_sys_integration.cc.o"
+  "CMakeFiles/bench_sys_integration.dir/bench_sys_integration.cc.o.d"
+  "bench_sys_integration"
+  "bench_sys_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sys_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_asic.dir/bench_table3_asic.cc.o"
+  "CMakeFiles/bench_table3_asic.dir/bench_table3_asic.cc.o.d"
+  "bench_table3_asic"
+  "bench_table3_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/band_explorer.dir/band_explorer.cpp.o"
+  "CMakeFiles/band_explorer.dir/band_explorer.cpp.o.d"
+  "band_explorer"
+  "band_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/band_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

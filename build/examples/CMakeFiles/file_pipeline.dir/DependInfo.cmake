@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/file_pipeline.cpp" "examples/CMakeFiles/file_pipeline.dir/file_pipeline.cpp.o" "gcc" "examples/CMakeFiles/file_pipeline.dir/file_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aligner/CMakeFiles/seedex_aligner.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/seedex_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/seedex/CMakeFiles/seedex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/seedex_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmindex/CMakeFiles/seedex_fmindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/seedex_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/seedex_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seedex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

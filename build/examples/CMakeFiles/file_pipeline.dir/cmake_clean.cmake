@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_pipeline.dir/file_pipeline.cpp.o"
+  "CMakeFiles/file_pipeline.dir/file_pipeline.cpp.o.d"
+  "file_pipeline"
+  "file_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

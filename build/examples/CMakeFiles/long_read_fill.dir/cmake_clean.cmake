@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_read_fill.dir/long_read_fill.cpp.o"
+  "CMakeFiles/long_read_fill.dir/long_read_fill.cpp.o.d"
+  "long_read_fill"
+  "long_read_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_read_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

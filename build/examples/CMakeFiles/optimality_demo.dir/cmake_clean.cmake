@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimality_demo.dir/optimality_demo.cpp.o"
+  "CMakeFiles/optimality_demo.dir/optimality_demo.cpp.o.d"
+  "optimality_demo"
+  "optimality_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimality_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

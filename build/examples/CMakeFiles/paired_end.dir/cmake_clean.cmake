@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paired_end.dir/paired_end.cpp.o"
+  "CMakeFiles/paired_end.dir/paired_end.cpp.o.d"
+  "paired_end"
+  "paired_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paired_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

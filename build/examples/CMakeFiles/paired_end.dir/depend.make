@@ -1,0 +1,2 @@
+# Empty dependencies file for paired_end.
+# This may be replaced when dependencies are built.

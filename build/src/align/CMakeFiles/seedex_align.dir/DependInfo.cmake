@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/cigar.cc" "src/align/CMakeFiles/seedex_align.dir/cigar.cc.o" "gcc" "src/align/CMakeFiles/seedex_align.dir/cigar.cc.o.d"
+  "/root/repo/src/align/dp.cc" "src/align/CMakeFiles/seedex_align.dir/dp.cc.o" "gcc" "src/align/CMakeFiles/seedex_align.dir/dp.cc.o.d"
+  "/root/repo/src/align/extend.cc" "src/align/CMakeFiles/seedex_align.dir/extend.cc.o" "gcc" "src/align/CMakeFiles/seedex_align.dir/extend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genome/CMakeFiles/seedex_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seedex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedex_align.dir/cigar.cc.o"
+  "CMakeFiles/seedex_align.dir/cigar.cc.o.d"
+  "CMakeFiles/seedex_align.dir/dp.cc.o"
+  "CMakeFiles/seedex_align.dir/dp.cc.o.d"
+  "CMakeFiles/seedex_align.dir/extend.cc.o"
+  "CMakeFiles/seedex_align.dir/extend.cc.o.d"
+  "libseedex_align.a"
+  "libseedex_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedex_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aligner/chaining.cc" "src/aligner/CMakeFiles/seedex_aligner.dir/chaining.cc.o" "gcc" "src/aligner/CMakeFiles/seedex_aligner.dir/chaining.cc.o.d"
+  "/root/repo/src/aligner/extension.cc" "src/aligner/CMakeFiles/seedex_aligner.dir/extension.cc.o" "gcc" "src/aligner/CMakeFiles/seedex_aligner.dir/extension.cc.o.d"
+  "/root/repo/src/aligner/longread.cc" "src/aligner/CMakeFiles/seedex_aligner.dir/longread.cc.o" "gcc" "src/aligner/CMakeFiles/seedex_aligner.dir/longread.cc.o.d"
+  "/root/repo/src/aligner/paired.cc" "src/aligner/CMakeFiles/seedex_aligner.dir/paired.cc.o" "gcc" "src/aligner/CMakeFiles/seedex_aligner.dir/paired.cc.o.d"
+  "/root/repo/src/aligner/pipeline.cc" "src/aligner/CMakeFiles/seedex_aligner.dir/pipeline.cc.o" "gcc" "src/aligner/CMakeFiles/seedex_aligner.dir/pipeline.cc.o.d"
+  "/root/repo/src/aligner/sam.cc" "src/aligner/CMakeFiles/seedex_aligner.dir/sam.cc.o" "gcc" "src/aligner/CMakeFiles/seedex_aligner.dir/sam.cc.o.d"
+  "/root/repo/src/aligner/seeding.cc" "src/aligner/CMakeFiles/seedex_aligner.dir/seeding.cc.o" "gcc" "src/aligner/CMakeFiles/seedex_aligner.dir/seeding.cc.o.d"
+  "/root/repo/src/aligner/threaded.cc" "src/aligner/CMakeFiles/seedex_aligner.dir/threaded.cc.o" "gcc" "src/aligner/CMakeFiles/seedex_aligner.dir/threaded.cc.o.d"
+  "/root/repo/src/aligner/timing_model.cc" "src/aligner/CMakeFiles/seedex_aligner.dir/timing_model.cc.o" "gcc" "src/aligner/CMakeFiles/seedex_aligner.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fmindex/CMakeFiles/seedex_fmindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/seedex/CMakeFiles/seedex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/seedex_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/seedex_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/seedex_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seedex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

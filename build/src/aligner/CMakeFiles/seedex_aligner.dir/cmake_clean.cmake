@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedex_aligner.dir/chaining.cc.o"
+  "CMakeFiles/seedex_aligner.dir/chaining.cc.o.d"
+  "CMakeFiles/seedex_aligner.dir/extension.cc.o"
+  "CMakeFiles/seedex_aligner.dir/extension.cc.o.d"
+  "CMakeFiles/seedex_aligner.dir/longread.cc.o"
+  "CMakeFiles/seedex_aligner.dir/longread.cc.o.d"
+  "CMakeFiles/seedex_aligner.dir/paired.cc.o"
+  "CMakeFiles/seedex_aligner.dir/paired.cc.o.d"
+  "CMakeFiles/seedex_aligner.dir/pipeline.cc.o"
+  "CMakeFiles/seedex_aligner.dir/pipeline.cc.o.d"
+  "CMakeFiles/seedex_aligner.dir/sam.cc.o"
+  "CMakeFiles/seedex_aligner.dir/sam.cc.o.d"
+  "CMakeFiles/seedex_aligner.dir/seeding.cc.o"
+  "CMakeFiles/seedex_aligner.dir/seeding.cc.o.d"
+  "CMakeFiles/seedex_aligner.dir/threaded.cc.o"
+  "CMakeFiles/seedex_aligner.dir/threaded.cc.o.d"
+  "CMakeFiles/seedex_aligner.dir/timing_model.cc.o"
+  "CMakeFiles/seedex_aligner.dir/timing_model.cc.o.d"
+  "libseedex_aligner.a"
+  "libseedex_aligner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedex_aligner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dtw.cc" "src/apps/CMakeFiles/seedex_apps.dir/dtw.cc.o" "gcc" "src/apps/CMakeFiles/seedex_apps.dir/dtw.cc.o.d"
+  "/root/repo/src/apps/lcs.cc" "src/apps/CMakeFiles/seedex_apps.dir/lcs.cc.o" "gcc" "src/apps/CMakeFiles/seedex_apps.dir/lcs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seedex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

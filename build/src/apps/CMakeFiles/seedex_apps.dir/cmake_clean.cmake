@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedex_apps.dir/dtw.cc.o"
+  "CMakeFiles/seedex_apps.dir/dtw.cc.o.d"
+  "CMakeFiles/seedex_apps.dir/lcs.cc.o"
+  "CMakeFiles/seedex_apps.dir/lcs.cc.o.d"
+  "libseedex_apps.a"
+  "libseedex_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedex_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fmindex/fmd_index.cc" "src/fmindex/CMakeFiles/seedex_fmindex.dir/fmd_index.cc.o" "gcc" "src/fmindex/CMakeFiles/seedex_fmindex.dir/fmd_index.cc.o.d"
+  "/root/repo/src/fmindex/smem.cc" "src/fmindex/CMakeFiles/seedex_fmindex.dir/smem.cc.o" "gcc" "src/fmindex/CMakeFiles/seedex_fmindex.dir/smem.cc.o.d"
+  "/root/repo/src/fmindex/suffix_array.cc" "src/fmindex/CMakeFiles/seedex_fmindex.dir/suffix_array.cc.o" "gcc" "src/fmindex/CMakeFiles/seedex_fmindex.dir/suffix_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genome/CMakeFiles/seedex_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seedex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedex_fmindex.dir/fmd_index.cc.o"
+  "CMakeFiles/seedex_fmindex.dir/fmd_index.cc.o.d"
+  "CMakeFiles/seedex_fmindex.dir/smem.cc.o"
+  "CMakeFiles/seedex_fmindex.dir/smem.cc.o.d"
+  "CMakeFiles/seedex_fmindex.dir/suffix_array.cc.o"
+  "CMakeFiles/seedex_fmindex.dir/suffix_array.cc.o.d"
+  "libseedex_fmindex.a"
+  "libseedex_fmindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedex_fmindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseedex_fmindex.a"
+)

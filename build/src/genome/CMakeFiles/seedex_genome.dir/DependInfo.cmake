@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genome/fasta.cc" "src/genome/CMakeFiles/seedex_genome.dir/fasta.cc.o" "gcc" "src/genome/CMakeFiles/seedex_genome.dir/fasta.cc.o.d"
+  "/root/repo/src/genome/read_sim.cc" "src/genome/CMakeFiles/seedex_genome.dir/read_sim.cc.o" "gcc" "src/genome/CMakeFiles/seedex_genome.dir/read_sim.cc.o.d"
+  "/root/repo/src/genome/reference.cc" "src/genome/CMakeFiles/seedex_genome.dir/reference.cc.o" "gcc" "src/genome/CMakeFiles/seedex_genome.dir/reference.cc.o.d"
+  "/root/repo/src/genome/sequence.cc" "src/genome/CMakeFiles/seedex_genome.dir/sequence.cc.o" "gcc" "src/genome/CMakeFiles/seedex_genome.dir/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seedex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedex_genome.dir/fasta.cc.o"
+  "CMakeFiles/seedex_genome.dir/fasta.cc.o.d"
+  "CMakeFiles/seedex_genome.dir/read_sim.cc.o"
+  "CMakeFiles/seedex_genome.dir/read_sim.cc.o.d"
+  "CMakeFiles/seedex_genome.dir/reference.cc.o"
+  "CMakeFiles/seedex_genome.dir/reference.cc.o.d"
+  "CMakeFiles/seedex_genome.dir/sequence.cc.o"
+  "CMakeFiles/seedex_genome.dir/sequence.cc.o.d"
+  "libseedex_genome.a"
+  "libseedex_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedex_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cc" "src/hw/CMakeFiles/seedex_hw.dir/accelerator.cc.o" "gcc" "src/hw/CMakeFiles/seedex_hw.dir/accelerator.cc.o.d"
+  "/root/repo/src/hw/area_model.cc" "src/hw/CMakeFiles/seedex_hw.dir/area_model.cc.o" "gcc" "src/hw/CMakeFiles/seedex_hw.dir/area_model.cc.o.d"
+  "/root/repo/src/hw/asic_model.cc" "src/hw/CMakeFiles/seedex_hw.dir/asic_model.cc.o" "gcc" "src/hw/CMakeFiles/seedex_hw.dir/asic_model.cc.o.d"
+  "/root/repo/src/hw/batch_format.cc" "src/hw/CMakeFiles/seedex_hw.dir/batch_format.cc.o" "gcc" "src/hw/CMakeFiles/seedex_hw.dir/batch_format.cc.o.d"
+  "/root/repo/src/hw/delta.cc" "src/hw/CMakeFiles/seedex_hw.dir/delta.cc.o" "gcc" "src/hw/CMakeFiles/seedex_hw.dir/delta.cc.o.d"
+  "/root/repo/src/hw/edit_machine.cc" "src/hw/CMakeFiles/seedex_hw.dir/edit_machine.cc.o" "gcc" "src/hw/CMakeFiles/seedex_hw.dir/edit_machine.cc.o.d"
+  "/root/repo/src/hw/pe_array.cc" "src/hw/CMakeFiles/seedex_hw.dir/pe_array.cc.o" "gcc" "src/hw/CMakeFiles/seedex_hw.dir/pe_array.cc.o.d"
+  "/root/repo/src/hw/systolic.cc" "src/hw/CMakeFiles/seedex_hw.dir/systolic.cc.o" "gcc" "src/hw/CMakeFiles/seedex_hw.dir/systolic.cc.o.d"
+  "/root/repo/src/hw/throughput_model.cc" "src/hw/CMakeFiles/seedex_hw.dir/throughput_model.cc.o" "gcc" "src/hw/CMakeFiles/seedex_hw.dir/throughput_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seedex/CMakeFiles/seedex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/seedex_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/seedex_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seedex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedex_hw.dir/accelerator.cc.o"
+  "CMakeFiles/seedex_hw.dir/accelerator.cc.o.d"
+  "CMakeFiles/seedex_hw.dir/area_model.cc.o"
+  "CMakeFiles/seedex_hw.dir/area_model.cc.o.d"
+  "CMakeFiles/seedex_hw.dir/asic_model.cc.o"
+  "CMakeFiles/seedex_hw.dir/asic_model.cc.o.d"
+  "CMakeFiles/seedex_hw.dir/batch_format.cc.o"
+  "CMakeFiles/seedex_hw.dir/batch_format.cc.o.d"
+  "CMakeFiles/seedex_hw.dir/delta.cc.o"
+  "CMakeFiles/seedex_hw.dir/delta.cc.o.d"
+  "CMakeFiles/seedex_hw.dir/edit_machine.cc.o"
+  "CMakeFiles/seedex_hw.dir/edit_machine.cc.o.d"
+  "CMakeFiles/seedex_hw.dir/pe_array.cc.o"
+  "CMakeFiles/seedex_hw.dir/pe_array.cc.o.d"
+  "CMakeFiles/seedex_hw.dir/systolic.cc.o"
+  "CMakeFiles/seedex_hw.dir/systolic.cc.o.d"
+  "CMakeFiles/seedex_hw.dir/throughput_model.cc.o"
+  "CMakeFiles/seedex_hw.dir/throughput_model.cc.o.d"
+  "libseedex_hw.a"
+  "libseedex_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedex_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seedex/checks.cc" "src/seedex/CMakeFiles/seedex_core.dir/checks.cc.o" "gcc" "src/seedex/CMakeFiles/seedex_core.dir/checks.cc.o.d"
+  "/root/repo/src/seedex/filter.cc" "src/seedex/CMakeFiles/seedex_core.dir/filter.cc.o" "gcc" "src/seedex/CMakeFiles/seedex_core.dir/filter.cc.o.d"
+  "/root/repo/src/seedex/global_filter.cc" "src/seedex/CMakeFiles/seedex_core.dir/global_filter.cc.o" "gcc" "src/seedex/CMakeFiles/seedex_core.dir/global_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/seedex_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/seedex_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seedex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

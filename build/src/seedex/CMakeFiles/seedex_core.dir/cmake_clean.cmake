@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedex_core.dir/checks.cc.o"
+  "CMakeFiles/seedex_core.dir/checks.cc.o.d"
+  "CMakeFiles/seedex_core.dir/filter.cc.o"
+  "CMakeFiles/seedex_core.dir/filter.cc.o.d"
+  "CMakeFiles/seedex_core.dir/global_filter.cc.o"
+  "CMakeFiles/seedex_core.dir/global_filter.cc.o.d"
+  "libseedex_core.a"
+  "libseedex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

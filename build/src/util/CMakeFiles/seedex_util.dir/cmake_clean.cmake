@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedex_util.dir/table.cc.o"
+  "CMakeFiles/seedex_util.dir/table.cc.o.d"
+  "libseedex_util.a"
+  "libseedex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

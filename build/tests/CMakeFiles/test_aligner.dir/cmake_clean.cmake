@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aligner.dir/test_aligner.cc.o"
+  "CMakeFiles/test_aligner.dir/test_aligner.cc.o.d"
+  "test_aligner"
+  "test_aligner.pdb"
+  "test_aligner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aligner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

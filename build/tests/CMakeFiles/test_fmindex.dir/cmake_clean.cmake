@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmindex.dir/test_fmindex.cc.o"
+  "CMakeFiles/test_fmindex.dir/test_fmindex.cc.o.d"
+  "test_fmindex"
+  "test_fmindex.pdb"
+  "test_fmindex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

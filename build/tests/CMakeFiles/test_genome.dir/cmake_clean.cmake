@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genome.dir/test_genome.cc.o"
+  "CMakeFiles/test_genome.dir/test_genome.cc.o.d"
+  "test_genome"
+  "test_genome.pdb"
+  "test_genome[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

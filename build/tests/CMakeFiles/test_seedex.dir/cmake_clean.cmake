@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seedex.dir/test_seedex.cc.o"
+  "CMakeFiles/test_seedex.dir/test_seedex.cc.o.d"
+  "test_seedex"
+  "test_seedex.pdb"
+  "test_seedex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seedex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
