@@ -7,8 +7,11 @@
 #include <vector>
 
 #include "aligner/pipeline.h"
+#include "aligner/threaded.h"
 #include "genome/read_sim.h"
 #include "genome/reference.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -64,6 +67,144 @@ banner(const std::string &exhibit, const std::string &claim)
 {
     std::cout << "==== " << exhibit << " ====\n"
               << "paper: " << claim << "\n\n";
+}
+
+/** Value of a `--flag=VALUE` argument, or `env` fallback, or "". */
+inline std::string
+flagValue(int argc, char **argv, const std::string &flag, const char *env)
+{
+    const std::string prefix = flag + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+    }
+    if (env != nullptr) {
+        if (const char *v = std::getenv(env))
+            return v;
+    }
+    return {};
+}
+
+/** Destination of the machine-readable run report (`--metrics-out=FILE`
+ *  or SEEDEX_METRICS_OUT); empty means "don't write one". */
+inline std::string
+metricsOutPath(int argc, char **argv)
+{
+    return flagValue(argc, argv, "--metrics-out", "SEEDEX_METRICS_OUT");
+}
+
+/**
+ * Destination of the Chrome trace (`--trace-out=FILE` or SEEDEX_TRACE);
+ * empty means tracing stays off. Call before the timed region: it
+ * enables the global trace session as a side effect.
+ */
+inline std::string
+traceOutPath(int argc, char **argv)
+{
+    const std::string path =
+        flagValue(argc, argv, "--trace-out", "SEEDEX_TRACE");
+    if (!path.empty())
+        obs::TraceSession::global().enable();
+    return path;
+}
+
+/** Write the collected trace to `path` (no-op when empty). Call only
+ *  after all worker threads have been joined. */
+inline void
+maybeWriteTrace(const std::string &path)
+{
+    if (path.empty())
+        return;
+    obs::TraceSession::global().disable();
+    if (obs::TraceSession::global().writeJson(path))
+        std::cout << "[obs] trace written to " << path << "\n";
+    else
+        std::cerr << "[obs] FAILED to write trace to " << path << "\n";
+}
+
+inline void
+appendStageTimes(obs::JsonWriter &w, const StageTimes &t)
+{
+    w.kv("seeding", t.seeding);
+    w.kv("extension", t.extension);
+    w.kv("other", t.other);
+    w.kv("total", t.total());
+}
+
+inline void
+appendFilterStats(obs::JsonWriter &w, const FilterStats &f)
+{
+    w.kv("total", f.total);
+    w.kv("pass_s2", f.pass_s2);
+    w.kv("pass_checks", f.pass_checks);
+    w.kv("fail_s1", f.fail_s1);
+    w.kv("fail_e_score", f.fail_e);
+    w.kv("fail_edit_check", f.fail_edit);
+    w.kv("fail_gscore_guard", f.fail_gscore_guard);
+    w.kv("edit_machine_runs", f.edit_machine_runs);
+    w.kv("pass_rate", f.passRate());
+}
+
+inline void
+appendPipelineStats(obs::JsonWriter &w, const PipelineStats &s)
+{
+    w.kv("reads", s.reads);
+    w.kv("unmapped", s.unmapped);
+    w.kv("extensions", s.extensions);
+    w.key("stage_seconds").beginObject();
+    appendStageTimes(w, s.times);
+    w.endObject();
+    w.key("filter").beginObject();
+    appendFilterStats(w, s.filter);
+    w.endObject();
+}
+
+inline void
+appendThreadedReport(obs::JsonWriter &w, const ThreadedReport &r)
+{
+    w.kv("wall_seconds", r.wall_seconds);
+    w.kv("reads", r.reads);
+    w.kv("batches", r.batches);
+    w.kv("extensions", r.extensions);
+    w.kv("reruns", r.reruns);
+    w.kv("device_cycles", r.device_cycles);
+}
+
+/**
+ * The bench layer of the run-report exporter: folds whichever of the
+ * ad-hoc stat structs the bench produced (pass nullptr for the rest)
+ * plus the full metrics-registry snapshot into one JSON document at
+ * `path`. No-op when `path` is empty, so benches can call this
+ * unconditionally with metricsOutPath()'s result.
+ */
+inline void
+writeRunReport(const std::string &path, const std::string &bench,
+               const PipelineStats *pipeline = nullptr,
+               const ThreadedReport *threaded = nullptr,
+               const FilterStats *filter = nullptr)
+{
+    if (path.empty())
+        return;
+    obs::RunReport report(bench);
+    if (pipeline != nullptr)
+        report.section("pipeline", [&](obs::JsonWriter &w) {
+            appendPipelineStats(w, *pipeline);
+        });
+    if (threaded != nullptr)
+        report.section("threaded", [&](obs::JsonWriter &w) {
+            appendThreadedReport(w, *threaded);
+        });
+    if (filter != nullptr)
+        report.section("filter", [&](obs::JsonWriter &w) {
+            appendFilterStats(w, *filter);
+        });
+    report.addMetrics(obs::MetricsRegistry::global().snapshot());
+    if (report.write(path))
+        std::cout << "[obs] run report written to " << path << "\n";
+    else
+        std::cerr << "[obs] FAILED to write run report to " << path
+                  << "\n";
 }
 
 } // namespace seedex::bench

@@ -24,6 +24,8 @@ int
 main(int argc, char **argv)
 {
     const bool quick = quickMode(argc, argv);
+    const std::string metrics_out = metricsOutPath(argc, argv);
+    const std::string trace_out = traceOutPath(argc, argv);
     banner("Figure 17: normalized end-to-end time breakdown",
            "3.75x over BWA-MEM, 2.28x over BWA-MEM2 with both "
            "accelerators");
@@ -118,5 +120,13 @@ main(int argc, char **argv)
     std::cout << strprintf(
         "[model] FPGA batch: %.1f ms device occupancy, %.2f%% reruns\n",
         device_seconds * 1e3, 100.0 * rerun_fraction);
+
+    // Machine-readable run report: the SeedEx software run's per-stage
+    // times and verdict mix (its filter.total sums to its extensions),
+    // the device model's verdict mix, and the registry snapshot with
+    // the extension-latency percentiles.
+    writeRunReport(metrics_out, "bench_fig17_end_to_end", &sw_stats,
+                   nullptr, &batch.stats);
+    maybeWriteTrace(trace_out);
     return 0;
 }

@@ -19,6 +19,8 @@ int
 main(int argc, char **argv)
 {
     const bool quick = quickMode(argc, argv);
+    const std::string metrics_out = metricsOutPath(argc, argv);
+    const std::string trace_out = traceOutPath(argc, argv);
     banner("System integration (SS V, Fig. 12)",
            "producer-consumer pipeline; prefetching hides memory");
 
@@ -39,6 +41,7 @@ main(int argc, char **argv)
     TextTable threads;
     threads.setHeader({"config", "wall ms", "reads/s", "batches",
                        "reruns"});
+    ThreadedReport last_report;
     for (const auto &[s, f] : {std::pair<int, int>{1, 1}, {2, 1},
                                {3, 1}, {3, 2}}) {
         ThreadedConfig cfg;
@@ -47,6 +50,7 @@ main(int argc, char **argv)
         cfg.batch_size = 32;
         ThreadedReport report;
         alignThreaded(ref, reads, cfg, &report);
+        last_report = report;
         threads.addRow(
             {strprintf("%d:%d", s, f),
              strprintf("%.1f", report.wall_seconds * 1e3),
@@ -91,5 +95,9 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(bw.memory_cycles),
         static_cast<unsigned long long>(bw.compute_cycles),
         bw.memoryHidden() ? "hidden" : "EXPOSED");
+
+    writeRunReport(metrics_out, "bench_sys_integration", nullptr,
+                   &last_report);
+    maybeWriteTrace(trace_out);
     return 0;
 }

@@ -2,9 +2,39 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace seedex {
 
 namespace {
+
+/** Registry instruments for the alignRead stage boundaries (Fig. 17's
+ *  per-stage bars, now as live counters/latency percentiles). */
+struct AlignerMetrics
+{
+    obs::Counter &reads =
+        obs::MetricsRegistry::global().counter("aligner.reads");
+    obs::Counter &unmapped =
+        obs::MetricsRegistry::global().counter("aligner.unmapped");
+    obs::Counter &extensions =
+        obs::MetricsRegistry::global().counter("aligner.extensions");
+    obs::LatencyHistogram &seeding =
+        obs::MetricsRegistry::global().histogram("aligner.seeding.seconds");
+    obs::LatencyHistogram &extension =
+        obs::MetricsRegistry::global().histogram(
+            "aligner.extension.seconds");
+    obs::LatencyHistogram &other =
+        obs::MetricsRegistry::global().histogram("aligner.other.seconds");
+};
+
+AlignerMetrics &
+alignerMetrics()
+{
+    static AlignerMetrics metrics;
+    return metrics;
+}
 
 /** Engine decorator that captures every extension job for the device
  *  model (the FPGA threads' batching path, §V-B). */
@@ -66,14 +96,18 @@ Aligner::alignRead(const std::string &name, const Sequence &read,
                    std::vector<ExtensionJob> *capture)
 {
     Stopwatch seeding_watch, extension_watch, other_watch;
+    uint64_t read_extensions = 0;
 
     // --- Seeding + chaining (the "seeding" bar of Fig. 17).
-    seeding_watch.start();
-    const std::vector<Seed> seeds =
-        collectSeeds(*index_, read, config_.seeding);
-    const std::vector<Chain> chains =
-        chainSeeds(seeds, config_.chaining);
-    seeding_watch.stop();
+    std::vector<Chain> chains;
+    {
+        obs::TraceSpan span("aligner.seeding", "aligner");
+        seeding_watch.start();
+        const std::vector<Seed> seeds =
+            collectSeeds(*index_, read, config_.seeding);
+        chains = chainSeeds(seeds, config_.chaining);
+        seeding_watch.stop();
+    }
 
     SamRecord rec;
     if (chains.empty()) {
@@ -82,6 +116,7 @@ Aligner::alignRead(const std::string &name, const Sequence &read,
         other_watch.stop();
     } else {
         // --- Seed extension through the configured engine.
+        obs::TraceSpan span("aligner.extension", "aligner");
         extension_watch.start();
         CapturingEngine engine(*engine_, capture);
         const Sequence rc = read.reverseComplement();
@@ -94,8 +129,10 @@ Aligner::alignRead(const std::string &name, const Sequence &read,
                                           config_.extension));
         }
         extension_watch.stop();
+        read_extensions = engine_->calls() - calls_before;
 
         // --- Pick best + runner-up, traceback, SAM.
+        obs::TraceSpan other_span("aligner.postprocess", "aligner");
         other_watch.start();
         size_t best = 0;
         int sub = 0;
@@ -112,7 +149,7 @@ Aligner::alignRead(const std::string &name, const Sequence &read,
         other_watch.stop();
 
         if (stats)
-            stats->extensions += engine_->calls() - calls_before;
+            stats->extensions += read_extensions;
     }
 
     if (stats) {
@@ -124,6 +161,22 @@ Aligner::alignRead(const std::string &name, const Sequence &read,
         if (auto *sx = dynamic_cast<SeedExEngine *>(engine_.get()))
             stats->filter = sx->stats();
     }
+
+    AlignerMetrics &m = alignerMetrics();
+    m.reads.inc();
+    if (!rec.mapped())
+        m.unmapped.inc();
+    if (read_extensions)
+        m.extensions.inc(read_extensions);
+    m.seeding.observe(seeding_watch.seconds());
+    if (!chains.empty())
+        m.extension.observe(extension_watch.seconds());
+    m.other.observe(other_watch.seconds());
+    SEEDEX_LOG(Trace, "aligner",
+               "read %s: %zu chains, %llu extensions, mapped=%d",
+               name.c_str(), chains.size(),
+               static_cast<unsigned long long>(read_extensions),
+               rec.mapped() ? 1 : 0);
     return rec;
 }
 

@@ -6,11 +6,40 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace seedex {
 
 namespace {
+
+/** Producer-consumer instruments (Fig. 12): queue pressure plus the
+ *  batch/rerun counters the ThreadedReport aggregates per run. */
+struct ThreadedMetrics
+{
+    obs::Counter &reads =
+        obs::MetricsRegistry::global().counter("threaded.reads");
+    obs::Counter &batches =
+        obs::MetricsRegistry::global().counter("threaded.batches");
+    obs::Counter &extensions =
+        obs::MetricsRegistry::global().counter("threaded.extensions");
+    obs::Counter &reruns =
+        obs::MetricsRegistry::global().counter("threaded.reruns");
+    obs::Gauge &queue_depth =
+        obs::MetricsRegistry::global().gauge("threaded.queue.depth");
+    obs::LatencyHistogram &batch_wall =
+        obs::MetricsRegistry::global().histogram(
+            "threaded.batch.wall_seconds");
+};
+
+ThreadedMetrics &
+threadedMetrics()
+{
+    static ThreadedMetrics metrics;
+    return metrics;
+}
 
 /** One seeded read queued for the FPGA threads. */
 struct SeededRead
@@ -35,6 +64,7 @@ class SeededQueue
         not_full_.wait(lock,
                        [&] { return queue_.size() < capacity_; });
         queue_.push_back(std::move(item));
+        recordDepth(queue_.size());
         not_empty_.notify_one();
     }
 
@@ -51,6 +81,7 @@ class SeededQueue
             out.push_back(std::move(queue_.front()));
             queue_.pop_front();
         }
+        recordDepth(queue_.size());
         not_full_.notify_all();
         return true;
     }
@@ -64,6 +95,14 @@ class SeededQueue
     }
 
   private:
+    void
+    recordDepth(size_t depth)
+    {
+        threadedMetrics().queue_depth.set(static_cast<int64_t>(depth));
+        obs::TraceSession::global().counter("threaded.queue.depth",
+                                            static_cast<double>(depth));
+    }
+
     std::mutex mutex_;
     std::condition_variable not_empty_, not_full_;
     std::deque<SeededRead> queue_;
@@ -116,6 +155,7 @@ alignThreaded(const Sequence &reference,
             const size_t i = next_read.fetch_add(1);
             if (i >= reads.size())
                 return;
+            obs::TraceSpan span("threaded.seed_read", "threaded");
             SeededRead item;
             item.read_idx = i;
             item.name = &reads[i].first;
@@ -140,6 +180,9 @@ alignThreaded(const Sequence &reference,
             batch.clear();
             if (!queue.popBatch(config.batch_size, batch))
                 return;
+            obs::TraceSpan batch_span("threaded.fpga_batch", "threaded");
+            Stopwatch batch_watch;
+            batch_watch.start();
             ++batches;
 
             // Chain table for the whole batch.
@@ -197,6 +240,8 @@ alignThreaded(const Sequence &reference,
                 jobs.reserve(pend.size());
                 for (PendingExtension &p : pend)
                     jobs.push_back(p.job);
+                obs::TraceSpan push_span("threaded.device_push",
+                                         "threaded");
                 std::lock_guard<std::mutex> lock(fpga_lock);
                 BatchResult r = device.processBatch(jobs);
                 device_cycles += r.device_cycles;
@@ -279,6 +324,7 @@ alignThreaded(const Sequence &reference,
             }
 
             // Post-processing: best chain per read, traceback, SAM.
+            obs::TraceSpan post_span("threaded.postprocess", "threaded");
             size_t s = 0;
             for (const SeededRead &item : batch) {
                 if (item.chains.empty()) {
@@ -303,6 +349,16 @@ alignThreaded(const Sequence &reference,
                                    xp.scoring);
                 s += item.chains.size();
             }
+
+            batch_watch.stop();
+            ThreadedMetrics &m = threadedMetrics();
+            m.batches.inc();
+            m.reads.inc(batch.size());
+            m.batch_wall.observe(batch_watch.seconds());
+            SEEDEX_LOG(Debug, "threaded",
+                       "fpga batch: %zu reads, %zu slots in %.3f ms",
+                       batch.size(), slots.size(),
+                       batch_watch.seconds() * 1e3);
         }
     };
 
@@ -320,6 +376,20 @@ alignThreaded(const Sequence &reference,
     for (std::thread &t : workers)
         t.join();
     wall.stop();
+
+    {
+        ThreadedMetrics &m = threadedMetrics();
+        m.extensions.inc(extensions);
+        m.reruns.inc(reruns);
+    }
+    SEEDEX_LOG(Info, "threaded",
+               "%zu reads in %.3f s (%d seeding + %d fpga threads, %llu "
+               "batches, %llu extensions, %llu reruns)",
+               reads.size(), wall.seconds(), config.seeding_threads,
+               config.fpga_threads,
+               static_cast<unsigned long long>(batches.load()),
+               static_cast<unsigned long long>(extensions.load()),
+               static_cast<unsigned long long>(reruns.load()));
 
     if (report) {
         report->wall_seconds = wall.seconds();

@@ -1,0 +1,373 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/table.h"
+
+namespace seedex::obs {
+
+// ------------------------------------------------------------- JsonWriter
+
+void
+JsonWriter::separate()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return; // the key already emitted "name":
+    }
+    if (!stack_.empty()) {
+        if (stack_.back().second)
+            out_ += ',';
+        stack_.back().second = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    stack_.emplace_back('o', false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += '}';
+    stack_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    stack_.emplace_back('a', false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += ']';
+    stack_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    if (!stack_.empty()) {
+        if (stack_.back().second)
+            out_ += ',';
+        stack_.back().second = true;
+    }
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    separate();
+    out_ += '"';
+    out_ += escape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    separate();
+    if (!std::isfinite(d)) {
+        out_ += "null"; // JSON has no Inf/NaN
+        return *this;
+    }
+    out_ += strprintf("%.9g", d);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    separate();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out_ += "null";
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+// -------------------------------------------------------------- JsonValue
+
+namespace {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("bad escape");
+                switch (*p) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (end - p < 5)
+                        return fail("bad \\u escape");
+                    const std::string hex(p + 1, p + 5);
+                    const long code = std::strtol(hex.c_str(), nullptr, 16);
+                    // ASCII-only round trip (matches what escape() emits).
+                    out += static_cast<char>(code & 0x7f);
+                    p += 4;
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+                ++p;
+            } else {
+                out += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': {
+            ++p;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string name;
+                if (!parseString(name))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out.object.emplace(std::move(name), std::move(member));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++p;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                JsonValue element;
+                if (!parseValue(element))
+                    return false;
+                out.array.push_back(std::move(element));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            if (end - p >= 4 && std::string(p, p + 4) == "true") {
+                out.kind = JsonValue::Kind::Bool;
+                out.boolean = true;
+                p += 4;
+                return true;
+            }
+            return fail("bad literal");
+          case 'f':
+            if (end - p >= 5 && std::string(p, p + 5) == "false") {
+                out.kind = JsonValue::Kind::Bool;
+                out.boolean = false;
+                p += 5;
+                return true;
+            }
+            return fail("bad literal");
+          case 'n':
+            if (end - p >= 4 && std::string(p, p + 4) == "null") {
+                out.kind = JsonValue::Kind::Null;
+                p += 4;
+                return true;
+            }
+            return fail("bad literal");
+          default: {
+            char *num_end = nullptr;
+            out.kind = JsonValue::Kind::Number;
+            out.number = std::strtod(p, &num_end);
+            if (num_end == p)
+                return fail("bad number");
+            p = num_end;
+            return true;
+          }
+        }
+    }
+};
+
+} // namespace
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out, std::string *err)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    if (!parser.parseValue(out)) {
+        if (err)
+            *err = parser.err;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        if (err)
+            *err = "trailing characters";
+        return false;
+    }
+    return true;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    const auto it = object.find(name);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    if (!out)
+        return false;
+    out << content;
+    return static_cast<bool>(out);
+}
+
+} // namespace seedex::obs

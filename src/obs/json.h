@@ -1,0 +1,98 @@
+#ifndef SEEDEX_OBS_JSON_H
+#define SEEDEX_OBS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seedex::obs {
+
+/**
+ * Minimal streaming JSON writer for the observability exports (run
+ * reports, Chrome trace files). Keeps an explicit nesting stack so
+ * commas and closers are always placed correctly; values are emitted in
+ * call order.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or begin*(). */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double d);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool b);
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    const std::string &str() const { return out_; }
+
+    static std::string escape(const std::string &s);
+
+  private:
+    void separate();
+
+    std::string out_;
+    /** One frame per open container: 'o' / 'a', plus whether a comma is
+     *  needed before the next element. */
+    std::vector<std::pair<char, bool>> stack_;
+    bool pending_key_ = false;
+};
+
+/**
+ * Minimal recursive-descent JSON value used to round-trip the exported
+ * documents in tests and tooling. Not a general-purpose parser: no
+ * \\uXXXX surrogate pairs, numbers parse via strtod.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    /** Parse `text`; returns false (with *err set) on malformed input. */
+    static bool parse(const std::string &text, JsonValue &out,
+                      std::string *err = nullptr);
+
+    /** Object member lookup; nullptr if absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+};
+
+/** Write `content` to `path` atomically enough for reports (truncate +
+ *  write); returns false on I/O failure. */
+bool writeTextFile(const std::string &path, const std::string &content);
+
+} // namespace seedex::obs
+
+#endif // SEEDEX_OBS_JSON_H

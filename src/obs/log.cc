@@ -1,0 +1,87 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace seedex::obs {
+
+namespace {
+
+std::mutex g_write_mutex;
+
+double
+monotonicSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+LogLevel
+parseLogLevel(const std::string &text)
+{
+    if (text == "error")
+        return LogLevel::Error;
+    if (text == "warn" || text == "warning")
+        return LogLevel::Warn;
+    if (text == "info")
+        return LogLevel::Info;
+    if (text == "debug")
+        return LogLevel::Debug;
+    if (text == "trace")
+        return LogLevel::Trace;
+    if (!text.empty() && text[0] >= '0' && text[0] <= '5' &&
+        text.size() == 1)
+        return static_cast<LogLevel>(text[0] - '0');
+    return LogLevel::Off;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Off: return "OFF";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Trace: return "TRACE";
+    }
+    return "?";
+}
+
+Logger::Logger() : epoch_seconds_(monotonicSeconds())
+{
+    if (const char *env = std::getenv("SEEDEX_LOG"))
+        level_.store(static_cast<int>(parseLogLevel(env)),
+                     std::memory_order_relaxed);
+}
+
+Logger &
+Logger::global()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::setLevel(LogLevel level)
+{
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void
+Logger::write(LogLevel level, const char *component,
+              const std::string &message)
+{
+    const double t = monotonicSeconds() - epoch_seconds_;
+    std::lock_guard<std::mutex> lock(g_write_mutex);
+    std::fprintf(stderr, "[seedex +%.3fs] %-5s %s | %s\n", t,
+                 logLevelName(level), component, message.c_str());
+}
+
+} // namespace seedex::obs

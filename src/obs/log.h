@@ -1,0 +1,86 @@
+#ifndef SEEDEX_OBS_LOG_H
+#define SEEDEX_OBS_LOG_H
+
+#include <atomic>
+#include <string>
+
+#include "util/table.h"
+
+namespace seedex::obs {
+
+/** Log severity, most to least severe. `Off` silences everything. */
+enum class LogLevel : int
+{
+    Off = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+};
+
+/** Parse "error"/"warn"/"info"/"debug"/"trace"/"off" or a numeric
+ *  level; unknown strings map to Off. */
+LogLevel parseLogLevel(const std::string &text);
+
+const char *logLevelName(LogLevel level);
+
+/**
+ * Leveled structured logger. Off by default so library code can log
+ * freely without polluting bench/test output; the `SEEDEX_LOG`
+ * environment variable (read once, at first use) or setLevel() turns it
+ * on. Lines go to stderr as
+ *
+ *     [seedex +12.345s] INFO  threaded | message
+ *
+ * The enabled() check is a single relaxed atomic load — callers (via
+ * the SEEDEX_LOG macro) pay nothing for disabled levels, not even
+ * argument formatting.
+ */
+class Logger
+{
+  public:
+    static Logger &global();
+
+    bool
+    enabled(LogLevel level) const
+    {
+        return static_cast<int>(level) <=
+            level_.load(std::memory_order_relaxed) &&
+            level != LogLevel::Off;
+    }
+
+    LogLevel
+    level() const
+    {
+        return static_cast<LogLevel>(
+            level_.load(std::memory_order_relaxed));
+    }
+
+    void setLevel(LogLevel level);
+
+    /** Emit one line (already formatted). Thread-safe. */
+    void write(LogLevel level, const char *component,
+               const std::string &message);
+
+  private:
+    Logger();
+
+    std::atomic<int> level_{static_cast<int>(LogLevel::Off)};
+    double epoch_seconds_ = 0;
+};
+
+} // namespace seedex::obs
+
+/** Leveled logging with zero formatting cost when the level is off:
+ *  SEEDEX_LOG(Info, "threaded", "batch %zu done", n); */
+#define SEEDEX_LOG(level_, component_, ...)                                  \
+    do {                                                                     \
+        if (::seedex::obs::Logger::global().enabled(                         \
+                ::seedex::obs::LogLevel::level_))                            \
+            ::seedex::obs::Logger::global().write(                           \
+                ::seedex::obs::LogLevel::level_, (component_),               \
+                ::seedex::strprintf(__VA_ARGS__));                           \
+    } while (0)
+
+#endif // SEEDEX_OBS_LOG_H

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seedex::obs {
+
+// ------------------------------------------------------- LatencyHistogram
+
+namespace {
+
+int
+bucketIndex(double seconds)
+{
+    if (!(seconds >= LatencyHistogram::kMinValue))
+        return 0; // underflow (also catches NaN / negatives)
+    const int idx = 1 +
+        static_cast<int>(std::log10(seconds /
+                                    LatencyHistogram::kMinValue) *
+                         LatencyHistogram::kBucketsPerDecade);
+    return std::min(idx, LatencyHistogram::kBuckets - 1);
+}
+
+} // namespace
+
+double
+LatencyHistogram::bucketUpperBound(int idx)
+{
+    // Finite buckets are 1..kBuckets-2; bucket i spans
+    // [kMin * r^(i-1), kMin * r^i) with r = 10^(1/kBucketsPerDecade).
+    return kMinValue *
+        std::pow(10.0, static_cast<double>(idx) / kBucketsPerDecade);
+}
+
+double
+LatencyHistogram::bucketLowerBound(int idx)
+{
+    return kMinValue *
+        std::pow(10.0, static_cast<double>(idx - 1) / kBucketsPerDecade);
+}
+
+void
+LatencyHistogram::observe(double seconds)
+{
+    buckets_[static_cast<size_t>(bucketIndex(seconds))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+
+    const double clamped = std::max(seconds, 0.0);
+    const uint64_t ns = static_cast<uint64_t>(clamped * 1e9);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+    while (ns < cur &&
+           !min_ns_.compare_exchange_weak(cur, ns,
+                                          std::memory_order_relaxed))
+        ;
+    cur = max_ns_.load(std::memory_order_relaxed);
+    while (ns > cur &&
+           !max_ns_.compare_exchange_weak(cur, ns,
+                                          std::memory_order_relaxed))
+        ;
+}
+
+double
+LatencyHistogram::percentile(double q) const
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank: the smallest rank covering fraction q.
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const uint64_t c = buckets_[static_cast<size_t>(i)].load(
+            std::memory_order_relaxed);
+        if (c == 0)
+            continue;
+        if (seen + c >= target) {
+            if (i == 0)
+                return kMinValue; // underflow bucket: below resolution
+            if (i == kBuckets - 1)
+                return bucketLowerBound(i); // overflow: lower bound
+            // Log-linear interpolation inside the landing bucket.
+            const double frac = static_cast<double>(target - seen) /
+                static_cast<double>(c);
+            const double lo = std::log10(bucketLowerBound(i));
+            const double hi = std::log10(bucketUpperBound(i));
+            return std::pow(10.0, lo + frac * (hi - lo));
+        }
+        seen += c;
+    }
+    return bucketUpperBound(kBuckets - 2);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    const uint64_t n = count();
+    return n == 0
+        ? 0.0
+        : static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+            1e9 / static_cast<double>(n);
+}
+
+HistogramSummary
+LatencyHistogram::summary() const
+{
+    HistogramSummary s;
+    s.count = count();
+    if (s.count == 0)
+        return s;
+    s.sum = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+        1e9;
+    s.min = static_cast<double>(min_ns_.load(std::memory_order_relaxed)) /
+        1e9;
+    s.max = static_cast<double>(max_ns_.load(std::memory_order_relaxed)) /
+        1e9;
+    s.mean = s.sum / static_cast<double>(s.count);
+    s.p50 = percentile(0.50);
+    s.p90 = percentile(0.90);
+    s.p99 = percentile(0.99);
+    return s;
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+    min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------- MetricsSnapshot
+
+uint64_t
+MetricsSnapshot::counterValue(const std::string &name) const
+{
+    for (const auto &[n, v] : counters) {
+        if (n == name)
+            return v;
+    }
+    return 0;
+}
+
+const HistogramSummary *
+MetricsSnapshot::findHistogram(const std::string &name) const
+{
+    for (const auto &[n, s] : histograms) {
+        if (n == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+// -------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        snap.counters.emplace_back(name, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        snap.gauges.emplace_back(
+            name, std::make_pair(g->value(), g->maxValue()));
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        snap.histograms.emplace_back(name, h->summary());
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace seedex::obs

@@ -1,0 +1,84 @@
+#include "obs/report.h"
+
+namespace seedex::obs {
+
+RunReport::RunReport(const std::string &bench)
+{
+    writer_.beginObject();
+    writer_.kv("schema", kRunReportSchema);
+    writer_.kv("bench", bench);
+}
+
+void
+RunReport::section(const std::string &name,
+                   const std::function<void(JsonWriter &)> &fill)
+{
+    writer_.key(name).beginObject();
+    fill(writer_);
+    writer_.endObject();
+}
+
+void
+RunReport::addMetrics(const MetricsSnapshot &snapshot)
+{
+    writer_.key("metrics").beginObject();
+    appendMetricsSnapshot(writer_, snapshot);
+    writer_.endObject();
+}
+
+std::string
+RunReport::finish()
+{
+    if (!finished_) {
+        writer_.endObject();
+        finished_ = true;
+    }
+    return writer_.str();
+}
+
+bool
+RunReport::write(const std::string &path)
+{
+    return writeTextFile(path, finish());
+}
+
+void
+appendHistogramSummary(JsonWriter &w, const HistogramSummary &s)
+{
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.kv("mean", s.mean);
+    w.kv("p50", s.p50);
+    w.kv("p90", s.p90);
+    w.kv("p99", s.p99);
+}
+
+void
+appendMetricsSnapshot(JsonWriter &w, const MetricsSnapshot &snapshot)
+{
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : snapshot.counters)
+        w.kv(name, value);
+    w.endObject();
+
+    w.key("gauges").beginObject();
+    for (const auto &[name, pair] : snapshot.gauges) {
+        w.key(name).beginObject();
+        w.kv("value", pair.first);
+        w.kv("max", pair.second);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, summary] : snapshot.histograms) {
+        w.key(name).beginObject();
+        appendHistogramSummary(w, summary);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace seedex::obs

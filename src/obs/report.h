@@ -1,0 +1,61 @@
+#ifndef SEEDEX_OBS_REPORT_H
+#define SEEDEX_OBS_REPORT_H
+
+#include <functional>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace seedex::obs {
+
+/** Schema identifier stamped into every run report. */
+inline constexpr const char *kRunReportSchema = "seedex.run_report/v1";
+
+/**
+ * Builder for the machine-readable run report the bench binaries emit
+ * via `--metrics-out=FILE`: a single JSON object with a schema tag, the
+ * producing binary's name, caller-provided sections (stage times,
+ * filter verdicts, threaded telemetry — the bench layer owns those
+ * types), and the full metrics-registry snapshot.
+ *
+ * Usage:
+ *     RunReport report("bench_fig17_end_to_end");
+ *     report.section("pipeline", [&](JsonWriter &w) { ... });
+ *     report.addMetrics(MetricsRegistry::global().snapshot());
+ *     report.write(path);
+ */
+class RunReport
+{
+  public:
+    explicit RunReport(const std::string &bench);
+
+    /** Open a named object section and fill it from `fill`. */
+    void section(const std::string &name,
+                 const std::function<void(JsonWriter &)> &fill);
+
+    /** Append the `metrics` section from a registry snapshot. */
+    void addMetrics(const MetricsSnapshot &snapshot);
+
+    /** Finish the document and return the JSON text. */
+    std::string finish();
+
+    /** finish() + write to `path`; returns false on I/O failure. */
+    bool write(const std::string &path);
+
+  private:
+    JsonWriter writer_;
+    bool finished_ = false;
+};
+
+/** Serialize one histogram summary as an object (shared between the
+ *  metrics section and ad-hoc report sections). */
+void appendHistogramSummary(JsonWriter &w, const HistogramSummary &s);
+
+/** Serialize a full snapshot: counters/gauges/histograms keyed by
+ *  instrument name. */
+void appendMetricsSnapshot(JsonWriter &w, const MetricsSnapshot &snapshot);
+
+} // namespace seedex::obs
+
+#endif // SEEDEX_OBS_REPORT_H

@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace seedex::obs {
+
+TraceSession &
+TraceSession::global()
+{
+    static TraceSession session;
+    return session;
+}
+
+void
+TraceSession::enable()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        epoch_ = std::chrono::steady_clock::now();
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Buffers stay registered (live threads still hold pointers to
+    // them); only their contents are dropped.
+    for (const auto &buf : buffers_)
+        buf->events.clear();
+}
+
+uint64_t
+TraceSession::nowNs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+TraceSession::ThreadBuffer &
+TraceSession::threadBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> tl_buffer;
+    if (!tl_buffer) {
+        tl_buffer = std::make_shared<ThreadBuffer>();
+        std::lock_guard<std::mutex> lock(mutex_);
+        tl_buffer->tid = next_tid_++;
+        buffers_.push_back(tl_buffer);
+    }
+    return *tl_buffer;
+}
+
+void
+TraceSession::record(TraceEvent ev)
+{
+    if (!enabled())
+        return;
+    threadBuffer().events.push_back(std::move(ev));
+}
+
+void
+TraceSession::counter(const char *name, double value)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.name = name;
+    ev.phase = 'C';
+    ev.ts_ns = nowNs();
+    ev.counter_value = value;
+    record(std::move(ev));
+}
+
+size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &buf : buffers_)
+        n += buf->events.size();
+    return n;
+}
+
+std::string
+TraceSession::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    for (const auto &buf : buffers_) {
+        for (const TraceEvent &ev : buf->events) {
+            w.beginObject();
+            w.kv("name", ev.name);
+            w.kv("cat", ev.category);
+            w.kv("ph", std::string(1, ev.phase));
+            w.kv("pid", static_cast<int64_t>(1));
+            w.kv("tid", static_cast<int64_t>(buf->tid));
+            // Chrome trace timestamps are microseconds.
+            w.kv("ts", static_cast<double>(ev.ts_ns) / 1e3);
+            if (ev.phase == 'X')
+                w.kv("dur", static_cast<double>(ev.dur_ns) / 1e3);
+            if (ev.phase == 'C') {
+                w.key("args").beginObject();
+                w.kv("value", ev.counter_value);
+                w.endObject();
+            }
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.kv("displayTimeUnit", "ms");
+    w.endObject();
+    return w.str();
+}
+
+bool
+TraceSession::writeJson(const std::string &path) const
+{
+    return writeTextFile(path, toJson());
+}
+
+} // namespace seedex::obs

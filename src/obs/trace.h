@@ -1,0 +1,135 @@
+#ifndef SEEDEX_OBS_TRACE_H
+#define SEEDEX_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace seedex::obs {
+
+/** One recorded trace event (complete span or counter sample). */
+struct TraceEvent
+{
+    std::string name;
+    const char *category = "seedex"; ///< must be a string literal
+    char phase = 'X';                ///< 'X' complete span, 'C' counter
+    uint64_t ts_ns = 0;              ///< start, relative to session epoch
+    uint64_t dur_ns = 0;             ///< span duration ('X' only)
+    double counter_value = 0;        ///< sample value ('C' only)
+};
+
+/**
+ * Process-wide trace collector producing Chrome `trace_event` JSON
+ * (open in Perfetto / chrome://tracing). Disabled by default: a span
+ * whose session is disabled costs one relaxed atomic load.
+ *
+ * Each OS thread appends to its own buffer — registration of the buffer
+ * takes the session mutex once per thread, every subsequent append is a
+ * plain (lock-free) vector push by its single writer. Serialization
+ * (toJson/clear) therefore must happen at a quiescent point: after
+ * worker threads have been joined (the join provides the happens-before
+ * edge that publishes their buffers). alignThreaded and the bench
+ * harness follow this rule.
+ */
+class TraceSession
+{
+  public:
+    static TraceSession &global();
+
+    /** Start recording; resets the time epoch (existing events keep
+     *  their old timestamps — call clear() first for a fresh trace). */
+    void enable();
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Drop all recorded events (call only at quiescence). */
+    void clear();
+
+    /** Serialize to Chrome trace JSON (call only at quiescence). */
+    std::string toJson() const;
+
+    /** toJson() to a file; returns false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+    /** Number of recorded events across all threads (quiescence only). */
+    size_t eventCount() const;
+
+    /** Record a counter track sample (e.g. queue depth). No-op when
+     *  disabled. */
+    void counter(const char *name, double value);
+
+    /** Nanoseconds since the session epoch. */
+    uint64_t nowNs() const;
+
+    /** Append a finished event to the calling thread's buffer. */
+    void record(TraceEvent ev);
+
+  private:
+    struct ThreadBuffer
+    {
+        int tid = 0;
+        std::vector<TraceEvent> events;
+    };
+
+    ThreadBuffer &threadBuffer();
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+    int next_tid_ = 1;
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+};
+
+/**
+ * RAII span: records a complete ('X') event covering its scope on the
+ * global session. Construction when tracing is disabled is one atomic
+ * load; no allocation, no clock read.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name, const char *category = "seedex")
+        : name_(name), category_(category),
+          active_(TraceSession::global().enabled())
+    {
+        if (active_)
+            start_ns_ = TraceSession::global().nowNs();
+    }
+
+    ~TraceSpan()
+    {
+        if (!active_)
+            return;
+        TraceSession &session = TraceSession::global();
+        TraceEvent ev;
+        ev.name = name_;
+        ev.category = category_;
+        ev.phase = 'X';
+        ev.ts_ns = start_ns_;
+        ev.dur_ns = session.nowNs() - start_ns_;
+        session.record(std::move(ev));
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    const char *name_;
+    const char *category_;
+    bool active_;
+    uint64_t start_ns_ = 0;
+};
+
+} // namespace seedex::obs
+
+#endif // SEEDEX_OBS_TRACE_H

@@ -2,22 +2,68 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace seedex {
+
+namespace {
+
+/** Registry counters mirroring FilterStats, one per Verdict value.
+ *  FilterStats::add is the single funnel every workflow (software
+ *  engine, device model, ad-hoc filter runs) goes through, so these
+ *  stay consistent with any locally accumulated FilterStats. */
+struct VerdictCounters
+{
+    obs::Counter &total =
+        obs::MetricsRegistry::global().counter("filter.verdict.total");
+    obs::Counter &pass_s2 =
+        obs::MetricsRegistry::global().counter("filter.verdict.pass_s2");
+    obs::Counter &pass_checks =
+        obs::MetricsRegistry::global().counter("filter.verdict.pass_checks");
+    obs::Counter &fail_s1 =
+        obs::MetricsRegistry::global().counter("filter.verdict.fail_s1");
+    obs::Counter &fail_e =
+        obs::MetricsRegistry::global().counter("filter.verdict.fail_e_score");
+    obs::Counter &fail_edit =
+        obs::MetricsRegistry::global().counter(
+            "filter.verdict.fail_edit_check");
+    obs::Counter &fail_gscore_guard =
+        obs::MetricsRegistry::global().counter(
+            "filter.verdict.fail_gscore_guard");
+    obs::Counter &edit_machine_runs =
+        obs::MetricsRegistry::global().counter("filter.edit_machine.runs");
+};
+
+VerdictCounters &
+verdictCounters()
+{
+    static VerdictCounters counters;
+    return counters;
+}
+
+} // namespace
 
 void
 FilterStats::add(const FilterOutcome &o)
 {
+    VerdictCounters &vc = verdictCounters();
     ++total;
+    vc.total.inc();
     switch (o.verdict) {
-      case Verdict::PassS2: ++pass_s2; break;
-      case Verdict::PassChecks: ++pass_checks; break;
-      case Verdict::FailS1: ++fail_s1; break;
-      case Verdict::FailEScore: ++fail_e; break;
-      case Verdict::FailEditCheck: ++fail_edit; break;
-      case Verdict::FailGscoreGuard: ++fail_gscore_guard; break;
+      case Verdict::PassS2: ++pass_s2; vc.pass_s2.inc(); break;
+      case Verdict::PassChecks: ++pass_checks; vc.pass_checks.inc(); break;
+      case Verdict::FailS1: ++fail_s1; vc.fail_s1.inc(); break;
+      case Verdict::FailEScore: ++fail_e; vc.fail_e.inc(); break;
+      case Verdict::FailEditCheck: ++fail_edit; vc.fail_edit.inc(); break;
+      case Verdict::FailGscoreGuard:
+        ++fail_gscore_guard;
+        vc.fail_gscore_guard.inc();
+        break;
     }
-    if (o.ran_edit_machine)
+    if (o.ran_edit_machine) {
         ++edit_machine_runs;
+        vc.edit_machine_runs.inc();
+    }
 }
 
 double

@@ -2,6 +2,7 @@
 #define SEEDEX_UTIL_HISTOGRAM_H
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -43,7 +44,9 @@ class Histogram
         return n;
     }
 
-    /** Fraction (0..1) of observations with value <= v. */
+    /** Fraction (0..1) of observations with value <= v. An empty
+     *  histogram returns 0.0 for every v (not NaN): callers comparing
+     *  against coverage targets treat "no data" as "no coverage". */
     double
     fractionAtMost(int64_t v) const
     {
@@ -63,6 +66,32 @@ class Histogram
                 n += count;
         }
         return n;
+    }
+
+    /**
+     * Nearest-rank percentile: the smallest recorded value v such that
+     * at least ceil(q * total) observations are <= v, with q clamped to
+     * [0,1]. Unlike quantile(), q values whose rank truncates to zero
+     * still return the smallest recorded value (rank is clamped to >= 1),
+     * so percentile(0.01) over 50 samples is well defined. Returns 0 on
+     * an empty histogram.
+     */
+    int64_t
+    percentile(double q) const
+    {
+        if (total_ == 0)
+            return 0;
+        q = std::clamp(q, 0.0, 1.0);
+        const uint64_t rank = std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   std::ceil(q * static_cast<double>(total_))));
+        uint64_t seen = 0;
+        for (const auto &[value, count] : counts_) {
+            seen += count;
+            if (seen >= rank)
+                return value;
+        }
+        return counts_.rbegin()->first;
     }
 
     /** Smallest value v such that fractionAtMost(v) >= q (q in (0,1]). */

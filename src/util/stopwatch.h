@@ -15,8 +15,41 @@ class Stopwatch
   public:
     using Clock = std::chrono::steady_clock;
 
-    /** Begin (or resume) timing. */
-    void start() { begin_ = Clock::now(); running_ = true; }
+    /**
+     * Begin (or resume) timing. Resume semantics: calling start() on a
+     * watch that is already running is a no-op — the live interval keeps
+     * accumulating rather than being silently dropped by rebasing the
+     * start point (the historical bug this guard removes).
+     */
+    void
+    start()
+    {
+        if (running_)
+            return;
+        begin_ = Clock::now();
+        running_ = true;
+    }
+
+    /**
+     * Fold the interval since the last start()/lap() into the total and
+     * restart the interval, returning the folded seconds. Starts the
+     * watch (returning 0) if it was not running — so a span layer can
+     * call lap() at every boundary without tracking state.
+     */
+    double
+    lap()
+    {
+        const auto now = Clock::now();
+        if (!running_) {
+            begin_ = now;
+            running_ = true;
+            return 0.0;
+        }
+        const Clock::duration interval = now - begin_;
+        total_ += interval;
+        begin_ = now;
+        return std::chrono::duration<double>(interval).count();
+    }
 
     /** Stop timing and fold the elapsed interval into the total. */
     void

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace seedex::obs {
+namespace {
+
+// --------------------------------------------------------------- Registry
+
+TEST(MetricsRegistry, CountersSurviveConcurrentHammering)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.reset();
+    constexpr int kThreads = 8;
+    constexpr int kIncsPerThread = 20000;
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&reg] {
+            // Lookup inside the thread: exercises concurrent
+            // find-or-create against the same name.
+            Counter &c = reg.counter("test.hammer");
+            LatencyHistogram &h = reg.histogram("test.hammer.seconds");
+            for (int i = 0; i < kIncsPerThread; ++i) {
+                c.inc();
+                h.observe(1e-4);
+            }
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+
+    EXPECT_EQ(reg.counter("test.hammer").value(),
+              static_cast<uint64_t>(kThreads) * kIncsPerThread);
+    EXPECT_EQ(reg.histogram("test.hammer.seconds").count(),
+              static_cast<uint64_t>(kThreads) * kIncsPerThread);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandlesValid)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    Counter &c = reg.counter("test.reset_handle");
+    c.inc(7);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.inc(3); // the cached reference must still hit the same instrument
+    EXPECT_EQ(reg.counter("test.reset_handle").value(), 3u);
+}
+
+TEST(Gauge, TracksValueAndHighWaterMark)
+{
+    Gauge g;
+    g.set(4);
+    g.set(9);
+    g.set(2);
+    EXPECT_EQ(g.value(), 2);
+    EXPECT_EQ(g.maxValue(), 9);
+    g.add(10);
+    EXPECT_EQ(g.value(), 12);
+    EXPECT_EQ(g.maxValue(), 12);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(LatencyHistogram, EmptyIsSafe)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesLandInTheRightBucket)
+{
+    LatencyHistogram h;
+    // 90 fast observations, 10 slow: p50 near 1 ms, p99 near 1 s.
+    for (int i = 0; i < 90; ++i)
+        h.observe(1e-3);
+    for (int i = 0; i < 10; ++i)
+        h.observe(1.0);
+    // Log buckets at 5/decade are ~58% wide; allow one bucket of slack.
+    EXPECT_NEAR(std::log10(h.percentile(0.50)), -3.0, 0.25);
+    EXPECT_NEAR(std::log10(h.percentile(0.99)), 0.0, 0.25);
+    EXPECT_NEAR(h.mean(), (90 * 1e-3 + 10 * 1.0) / 100.0, 1e-6);
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_NEAR(s.min, 1e-3, 1e-6);
+    EXPECT_NEAR(s.max, 1.0, 1e-6);
+}
+
+TEST(LatencyHistogram, EdgeQuantilesAndOutOfRangeValues)
+{
+    LatencyHistogram h;
+    h.observe(0.0);    // underflow bucket
+    h.observe(-1.0);   // negative clamps to underflow
+    h.observe(1e-2);
+    h.observe(1e9);    // overflow bucket
+    EXPECT_EQ(h.count(), 4u);
+    // q=0 clamps to rank 1 (the underflow bucket's floor value).
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), LatencyHistogram::kMinValue);
+    // q=1 lands in the overflow bucket: reported as its lower bound,
+    // never infinity.
+    EXPECT_GT(h.percentile(1.0), 1.0);
+    EXPECT_TRUE(std::isfinite(h.percentile(1.0)));
+    // q beyond [0,1] clamps instead of reading past the buckets.
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+}
+
+TEST(LatencyHistogram, SingleObservationIsEveryPercentile)
+{
+    LatencyHistogram h;
+    h.observe(3e-3);
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_NEAR(std::log10(h.percentile(q)), std::log10(3e-3), 0.15)
+            << "q=" << q;
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(Json, WriterRoundTripsThroughParser)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("name", "line\nwith \"quotes\" and \\slashes");
+    w.kv("count", static_cast<uint64_t>(42));
+    w.kv("ratio", 0.25);
+    w.kv("flag", true);
+    w.key("list").beginArray().value(1).value(2).value(3).endArray();
+    w.key("nested").beginObject().kv("x", -1).endObject();
+    w.endObject();
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(w.str(), v, &err)) << err;
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(v.find("name")->string,
+              "line\nwith \"quotes\" and \\slashes");
+    EXPECT_DOUBLE_EQ(v.find("count")->number, 42.0);
+    EXPECT_DOUBLE_EQ(v.find("ratio")->number, 0.25);
+    EXPECT_TRUE(v.find("flag")->boolean);
+    ASSERT_EQ(v.find("list")->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("list")->array[2].number, 3.0);
+    EXPECT_DOUBLE_EQ(v.find("nested")->find("x")->number, -1.0);
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    JsonValue v;
+    EXPECT_FALSE(JsonValue::parse("{\"a\": }", v));
+    EXPECT_FALSE(JsonValue::parse("[1, 2", v));
+    EXPECT_FALSE(JsonValue::parse("{} trailing", v));
+    EXPECT_FALSE(JsonValue::parse("", v));
+}
+
+TEST(RunReport, ProducesSchemaTaggedDocument)
+{
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().counter("test.report.counter").inc(5);
+    MetricsRegistry::global().histogram("test.report.seconds").observe(
+        1e-3);
+
+    RunReport report("test_bench");
+    report.section("custom", [](JsonWriter &w) { w.kv("answer", 42); });
+    report.addMetrics(MetricsRegistry::global().snapshot());
+    const std::string json = report.finish();
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(json, v, &err)) << err;
+    EXPECT_EQ(v.find("schema")->string, kRunReportSchema);
+    EXPECT_EQ(v.find("bench")->string, "test_bench");
+    EXPECT_DOUBLE_EQ(v.find("custom")->find("answer")->number, 42.0);
+    const JsonValue *counters = v.find("metrics")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->find("test.report.counter")->number, 5.0);
+    const JsonValue *hist =
+        v.find("metrics")->find("histograms")->find("test.report.seconds");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->find("count")->number, 1.0);
+    EXPECT_GT(hist->find("p50")->number, 0.0);
+}
+
+// ------------------------------------------------------------------ Trace
+
+TEST(Trace, SpansFromTwoThreadsRoundTripThroughParser)
+{
+    TraceSession &session = TraceSession::global();
+    session.clear();
+    session.enable();
+    {
+        TraceSpan span("main.work", "test");
+    }
+    std::thread worker([] {
+        TraceSpan span("worker.work", "test");
+        TraceSession::global().counter("worker.depth", 3.0);
+    });
+    worker.join();
+    session.disable();
+
+    const std::string json = session.toJson();
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(json, v, &err)) << err;
+    const JsonValue *events = v.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+    ASSERT_GE(events->array.size(), 3u);
+
+    std::set<int> tids;
+    std::set<std::string> names;
+    for (const JsonValue &ev : events->array) {
+        tids.insert(static_cast<int>(ev.find("tid")->number));
+        names.insert(ev.find("name")->string);
+        if (ev.find("ph")->string == "X")
+            EXPECT_GE(ev.find("dur")->number, 0.0);
+        if (ev.find("ph")->string == "C")
+            EXPECT_DOUBLE_EQ(ev.find("args")->find("value")->number, 3.0);
+    }
+    EXPECT_GE(tids.size(), 2u) << "expected spans from two threads";
+    EXPECT_TRUE(names.count("main.work"));
+    EXPECT_TRUE(names.count("worker.work"));
+    EXPECT_TRUE(names.count("worker.depth"));
+}
+
+TEST(Trace, DisabledSessionRecordsNothing)
+{
+    TraceSession &session = TraceSession::global();
+    session.clear();
+    session.disable();
+    {
+        TraceSpan span("invisible", "test");
+        session.counter("invisible.counter", 1.0);
+    }
+    EXPECT_EQ(session.eventCount(), 0u);
+}
+
+// ----------------------------------------------------------------- Logger
+
+TEST(Logger, LevelFilteringGatesOutput)
+{
+    Logger &log = Logger::global();
+    const LogLevel saved = log.level();
+
+    log.setLevel(LogLevel::Warn);
+    EXPECT_TRUE(log.enabled(LogLevel::Error));
+    EXPECT_TRUE(log.enabled(LogLevel::Warn));
+    EXPECT_FALSE(log.enabled(LogLevel::Info));
+    EXPECT_FALSE(log.enabled(LogLevel::Debug));
+
+    log.setLevel(LogLevel::Off);
+    EXPECT_FALSE(log.enabled(LogLevel::Error));
+
+    log.setLevel(LogLevel::Trace);
+    EXPECT_TRUE(log.enabled(LogLevel::Trace));
+
+    log.setLevel(saved);
+}
+
+TEST(Logger, ParsesLevelNames)
+{
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("trace"), LogLevel::Trace);
+    EXPECT_EQ(parseLogLevel("off"), LogLevel::Off);
+    EXPECT_EQ(parseLogLevel("3"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("nonsense"), LogLevel::Off);
+}
+
+TEST(Logger, MacroCompilesAndRespectsLevel)
+{
+    Logger &log = Logger::global();
+    const LogLevel saved = log.level();
+    log.setLevel(LogLevel::Off);
+    // Must not evaluate its arguments when the level is off.
+    int evaluations = 0;
+    auto touch = [&evaluations] {
+        ++evaluations;
+        return 1;
+    };
+    SEEDEX_LOG(Debug, "test", "value %d", touch());
+    EXPECT_EQ(evaluations, 0);
+    log.setLevel(saved);
+}
+
+} // namespace
+} // namespace seedex::obs

@@ -5,6 +5,7 @@
 #include "genome/read_sim.h"
 #include "genome/reference.h"
 #include "hw/batch_format.h"
+#include "obs/metrics.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
@@ -176,6 +177,47 @@ TEST_F(SystemFixture, ThreadedDeterministicAcrossThreadCounts)
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i)
         EXPECT_TRUE(a[i].sameAlignment(b[i])) << i;
+}
+
+// ---------------------------------------------------------- Observability
+
+TEST_F(SystemFixture, RegistryVerdictCountersMatchFilterStats)
+{
+    obs::MetricsRegistry::global().reset();
+    const auto reads = simulateReads(60, 331);
+
+    PipelineConfig config;
+    config.engine = EngineKind::SeedEx;
+    config.band = 11;
+    Aligner aligner(ref_, config);
+    PipelineStats stats;
+    aligner.alignBatch(reads, &stats);
+    ASSERT_GT(stats.extensions, 0u);
+
+    // FilterStats::add is the single funnel into both the ad-hoc struct
+    // and the registry, so after a reset the two views must agree.
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    const FilterStats &f = stats.filter;
+    EXPECT_EQ(snap.counterValue("filter.verdict.total"), f.total);
+    EXPECT_EQ(snap.counterValue("filter.verdict.pass_s2"), f.pass_s2);
+    EXPECT_EQ(snap.counterValue("filter.verdict.pass_checks"),
+              f.pass_checks);
+    EXPECT_EQ(snap.counterValue("filter.verdict.fail_s1"), f.fail_s1);
+    EXPECT_EQ(snap.counterValue("filter.verdict.fail_e_score"), f.fail_e);
+    EXPECT_EQ(snap.counterValue("filter.verdict.fail_edit_check"),
+              f.fail_edit);
+    EXPECT_EQ(snap.counterValue("filter.verdict.fail_gscore_guard"),
+              f.fail_gscore_guard);
+    EXPECT_EQ(snap.counterValue("filter.edit_machine.runs"),
+              f.edit_machine_runs);
+
+    // Per-verdict counters partition the extension count.
+    EXPECT_EQ(f.pass_s2 + f.pass_checks + f.fail_s1 + f.fail_e +
+                  f.fail_edit + f.fail_gscore_guard,
+              stats.extensions);
+    EXPECT_EQ(snap.counterValue("aligner.reads"), stats.reads);
+    EXPECT_EQ(snap.counterValue("aligner.extensions"), stats.extensions);
 }
 
 // ---------------------------------------------------------- Paired ends

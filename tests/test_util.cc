@@ -121,6 +121,38 @@ TEST(Histogram, EmptyIsSafe)
     EXPECT_EQ(h.total(), 0u);
     EXPECT_DOUBLE_EQ(h.fractionAtMost(10), 0.0);
     EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.percentile(0.5), 0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, PercentileNearestRank)
+{
+    Histogram h;
+    for (int v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.5), 50);
+    EXPECT_EQ(h.percentile(0.90), 90);
+    EXPECT_EQ(h.percentile(0.99), 99);
+    EXPECT_EQ(h.percentile(1.0), 100);
+    // Small q still returns the smallest value (rank clamps to >= 1),
+    // and out-of-range q clamps instead of misbehaving.
+    EXPECT_EQ(h.percentile(0.0), 1);
+    EXPECT_EQ(h.percentile(0.001), 1);
+    EXPECT_EQ(h.percentile(-1.0), 1);
+    EXPECT_EQ(h.percentile(7.0), 100);
+}
+
+TEST(Histogram, PercentileSmallSampleRanks)
+{
+    Histogram h;
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    // ceil(0.5 * 3) = 2nd smallest; ceil(0.34 * 3) = 2nd as well.
+    EXPECT_EQ(h.percentile(0.5), 20);
+    EXPECT_EQ(h.percentile(0.34), 20);
+    EXPECT_EQ(h.percentile(0.33), 10);
+    EXPECT_EQ(h.percentile(0.67), 30);
 }
 
 TEST(RunningStats, Basics)
@@ -146,6 +178,42 @@ TEST(Stopwatch, AccumulatesAcrossIntervals)
     EXPECT_GE(w.seconds(), first);
     w.reset();
     EXPECT_EQ(w.seconds(), 0.0);
+}
+
+TEST(Stopwatch, StartWhileRunningKeepsAccumulating)
+{
+    // Resume semantics: a second start() must not rebase the interval
+    // and drop the time accumulated since the first start().
+    Stopwatch w;
+    w.start();
+    // Burn a measurable amount of time.
+    volatile double sink = 0;
+    for (int i = 0; i < 2000000; ++i)
+        sink += static_cast<double>(i);
+    const double before = w.seconds();
+    ASSERT_GT(before, 0.0);
+    w.start(); // no-op: already running
+    EXPECT_GE(w.seconds(), before);
+    w.stop();
+    EXPECT_GE(w.seconds(), before);
+}
+
+TEST(Stopwatch, LapFoldsIntervalsAndReturnsThem)
+{
+    Stopwatch w;
+    // lap() on a stopped watch starts it and returns 0.
+    EXPECT_EQ(w.lap(), 0.0);
+    volatile double sink = 0;
+    for (int i = 0; i < 1000000; ++i)
+        sink += static_cast<double>(i);
+    const double lap1 = w.lap();
+    EXPECT_GT(lap1, 0.0);
+    // The folded interval is part of the running total.
+    EXPECT_GE(w.seconds(), lap1);
+    const double lap2 = w.lap();
+    EXPECT_GE(lap2, 0.0);
+    w.stop();
+    EXPECT_GE(w.seconds(), lap1 + lap2);
 }
 
 TEST(TextTable, RendersAlignedColumns)

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke check for the observability exports: runs the Fig. 17 bench with
+# --metrics-out (and a trace), then validates the run-report JSON schema.
+#
+# Usage: tools/check_metrics.sh [BUILD_DIR]     (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/bench_fig17_end_to_end"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+METRICS="$OUT_DIR/metrics.json"
+TRACE="$OUT_DIR/trace.json"
+
+if [[ ! -x "$BENCH" ]]; then
+    echo "check_metrics: $BENCH not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+fi
+
+echo "== running $BENCH --quick --metrics-out=$METRICS"
+"$BENCH" --quick "--metrics-out=$METRICS" "--trace-out=$TRACE" > /dev/null
+
+[[ -s "$METRICS" ]] || { echo "FAIL: metrics file missing/empty" >&2; exit 1; }
+[[ -s "$TRACE" ]] || { echo "FAIL: trace file missing/empty" >&2; exit 1; }
+
+echo "== grep-level schema checks"
+for key in '"schema":"seedex.run_report/v1"' '"stage_seconds"' \
+           '"pass_s2"' '"aligner.extension.seconds"' '"p99"'; do
+    grep -q "$key" "$METRICS" || { echo "FAIL: $key not in $METRICS" >&2; exit 1; }
+done
+grep -q '"traceEvents"' "$TRACE" || { echo "FAIL: no traceEvents in $TRACE" >&2; exit 1; }
+
+echo "== structural checks (python json)"
+python3 - "$METRICS" "$TRACE" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["schema"] == "seedex.run_report/v1", report["schema"]
+assert report["bench"] == "bench_fig17_end_to_end"
+
+pipeline = report["pipeline"]
+stages = pipeline["stage_seconds"]
+for stage in ("seeding", "extension", "other", "total"):
+    assert isinstance(stages[stage], (int, float)), stage
+assert stages["total"] > 0
+
+flt = pipeline["filter"]
+verdicts = ["pass_s2", "pass_checks", "fail_s1", "fail_e_score",
+            "fail_edit_check", "fail_gscore_guard"]
+verdict_sum = sum(flt[v] for v in verdicts)
+assert verdict_sum == flt["total"], (verdict_sum, flt["total"])
+# The acceptance identity: verdict counters sum to PipelineStats::extensions.
+assert verdict_sum == pipeline["extensions"], \
+    (verdict_sum, pipeline["extensions"])
+
+hist = report["metrics"]["histograms"]["aligner.extension.seconds"]
+assert hist["count"] > 0
+assert 0 < hist["p50"] <= hist["p90"] <= hist["p99"]
+
+counters = report["metrics"]["counters"]
+assert counters["filter.verdict.total"] >= flt["total"]
+
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "empty trace"
+assert any(e["ph"] == "X" for e in events)
+
+print(f"ok: {len(verdicts)} verdict counters sum to "
+      f"{pipeline['extensions']} extensions; "
+      f"extension latency p50={hist['p50']:.2e}s p99={hist['p99']:.2e}s; "
+      f"{len(events)} trace events")
+EOF
+
+echo "check_metrics: PASS"
