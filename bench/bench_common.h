@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "align/kernel.h"
+#include "align/workspace.h"
 #include "aligner/pipeline.h"
 #include "aligner/threaded.h"
 #include "genome/read_sim.h"
@@ -199,6 +201,20 @@ writeRunReport(const std::string &path, const std::string &bench,
         report.section("filter", [&](obs::JsonWriter &w) {
             appendFilterStats(w, *filter);
         });
+    // Which vector tier the extension kernel resolved to for this process,
+    // plus the workspace high-water marks -- every run report carries
+    // these so perf numbers are attributable to an ISA.
+    report.section("kernel", [&](obs::JsonWriter &w) {
+        w.kv("dispatch", std::string(kernelIsaName(kernelDispatch())));
+        w.key("available").beginArray();
+        for (KernelIsa isa : availableKernelIsas())
+            w.value(std::string(kernelIsaName(isa)));
+        w.endArray();
+        w.kv("workspace_bytes",
+             static_cast<uint64_t>(DpWorkspace::tls().bytesReserved()));
+        w.kv("workspace_grow_events",
+             static_cast<uint64_t>(DpWorkspace::tls().growEvents()));
+    });
     report.addMetrics(obs::MetricsRegistry::global().snapshot());
     if (report.write(path))
         std::cout << "[obs] run report written to " << path << "\n";

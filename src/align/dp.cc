@@ -1,9 +1,13 @@
 #include "align/dp.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "align/kernel.h"
+#include "align/workspace.h"
 
 namespace seedex {
 
@@ -11,31 +15,40 @@ namespace {
 
 constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
 
-/** Backpointer codes for Gotoh traceback. */
-enum : uint8_t
-{
-    kFromDiag = 0,  // H came from H(i-1,j-1) + S
-    kFromE = 1,     // H came from E (deletion)
-    kFromF = 2,     // H came from F (insertion)
-    kFromStart = 3, // local/semi-global fresh start
-};
+// Backpointer codes for Gotoh traceback (shared with the banded fill
+// tiers in align/kernel.h).
+constexpr uint8_t kFromDiag = kGotohFromDiag;  // H(i-1,j-1) + S
+constexpr uint8_t kFromE = kGotohFromE;        // E (deletion)
+constexpr uint8_t kFromF = kGotohFromF;        // F (insertion)
+constexpr uint8_t kFromStart = kGotohFromStart; // fresh start
 
 struct GotohGrid
 {
     int rows, cols; // (tlen+1) x (qlen+1)
-    std::vector<int> h, e, f;
-    std::vector<uint8_t> bh;  // source of H
-    std::vector<uint8_t> be;  // 1 if E extended from E, 0 if opened from H
-    std::vector<uint8_t> bf;  // 1 if F extended from F, 0 if opened from H
+    // Planes live in the calling thread's DpWorkspace (slots full_*), so
+    // repeated full alignments reuse one allocation.
+    int *h, *e, *f;
+    uint8_t *bh; // source of H
+    uint8_t *be; // 1 if E extended from E, 0 if opened from H
+    uint8_t *bf; // 1 if F extended from F, 0 if opened from H
 
-    GotohGrid(int r, int c)
-        : rows(r), cols(c), h(static_cast<size_t>(r) * c, kNegInf),
-          e(static_cast<size_t>(r) * c, kNegInf),
-          f(static_cast<size_t>(r) * c, kNegInf),
-          bh(static_cast<size_t>(r) * c, kFromStart),
-          be(static_cast<size_t>(r) * c, 0),
-          bf(static_cast<size_t>(r) * c, 0)
-    {}
+    GotohGrid(int r, int c) : rows(r), cols(c)
+    {
+        DpWorkspace &ws = DpWorkspace::tls();
+        const size_t n = static_cast<size_t>(r) * c;
+        h = ws.ensure<int>(ws.full_h, n);
+        e = ws.ensure<int>(ws.full_e, n);
+        f = ws.ensure<int>(ws.full_f, n);
+        bh = ws.ensure<uint8_t>(ws.full_bh, n);
+        be = ws.ensure<uint8_t>(ws.full_be, n);
+        bf = ws.ensure<uint8_t>(ws.full_bf, n);
+        std::fill(h, h + n, kNegInf);
+        std::fill(e, e + n, kNegInf);
+        std::fill(f, f + n, kNegInf);
+        std::memset(bh, kFromStart, n);
+        std::memset(be, 0, n);
+        std::memset(bf, 0, n);
+    }
 
     size_t at(int i, int j) const
     {
@@ -217,100 +230,26 @@ globalAlignBanded(const Sequence &query, const Sequence &target,
     if (band < std::abs(qlen - tlen))
         throw std::runtime_error("globalAlignBanded: band excludes corner");
 
-    // Band-compact storage: scores roll row to row; only the 2-bit-ish
-    // backpointers persist, at (tlen+1) x (2*band+1). This runs once per
-    // read on the host (traceback), so its footprint matters for the
-    // pipeline's "other" stage.
-    const int width = 2 * band + 1;
-    const int oe_del = scoring.gap_open_del + scoring.gap_extend_del;
-    const int oe_ins = scoring.gap_open_ins + scoring.gap_extend_ins;
-
-    std::vector<uint8_t> bh(static_cast<size_t>(tlen + 1) * width,
-                            kFromStart);
-    std::vector<uint8_t> be(static_cast<size_t>(tlen + 1) * width, 0);
-    std::vector<uint8_t> bf(static_cast<size_t>(tlen + 1) * width, 0);
+    // Band-compact storage: scores roll row to row inside the fill
+    // kernel; only the 2-bit-ish backpointers persist, at
+    // (tlen+1) x (2*band+1) in the workspace. This runs once per read on
+    // the host (traceback), so its footprint matters for the pipeline's
+    // "other" stage. The fill itself is dispatched (scalar/sse/avx2).
+    const GotohFill fill = gotohBandedFill(query, target, scoring, band);
+    const uint8_t *bh = fill.bh;
+    const uint8_t *be = fill.be;
+    const uint8_t *bf = fill.bf;
+    const int width = fill.width;
     auto at = [&](int i, int j) {
         // Column j lives at offset j - (i - band) within row i's slice.
         return static_cast<size_t>(i) * width + (j - (i - band));
     };
-    auto inBand = [&](int i, int j) {
-        return j >= i - band && j <= i + band;
-    };
-
-    std::vector<int> h_prev(qlen + 1, kNegInf), e_prev(qlen + 1, kNegInf);
-    std::vector<int> f_prev(qlen + 1, kNegInf);
-    std::vector<int> h_cur(qlen + 1, kNegInf), e_cur(qlen + 1, kNegInf);
-    std::vector<int> f_cur(qlen + 1, kNegInf);
-
-    // Row 0.
-    h_prev[0] = 0;
-    for (int j = 1; j <= qlen && j <= band; ++j) {
-        f_prev[j] = -(scoring.gap_open_ins + scoring.gap_extend_ins * j);
-        h_prev[j] = f_prev[j];
-        bh[at(0, j)] = kFromF;
-        bf[at(0, j)] = j > 1;
-    }
-
-    for (int i = 1; i <= tlen; ++i) {
-        const int lo = std::max(0, i - band);
-        const int hi = std::min(qlen, i + band);
-        // Clear one column left of the band too: the F/H reads at j = lo
-        // must not see stale values from row i-2 (the rolling buffers).
-        const int clear_lo = std::max(0, lo - 1);
-        std::fill(h_cur.begin() + clear_lo, h_cur.begin() + hi + 1,
-                  kNegInf);
-        std::fill(e_cur.begin() + clear_lo, e_cur.begin() + hi + 1,
-                  kNegInf);
-        std::fill(f_cur.begin() + clear_lo, f_cur.begin() + hi + 1,
-                  kNegInf);
-        if (lo == 0 && i <= band) {
-            e_cur[0] =
-                -(scoring.gap_open_del + scoring.gap_extend_del * i);
-            h_cur[0] = e_cur[0];
-            bh[at(i, 0)] = kFromE;
-            be[at(i, 0)] = i > 1;
-        }
-        for (int j = std::max(1, lo); j <= hi; ++j) {
-            const size_t k = at(i, j);
-            const int up_h = inBand(i - 1, j) ? h_prev[j] : kNegInf;
-            const int up_e = inBand(i - 1, j) ? e_prev[j] : kNegInf;
-            const int e_open = up_h - oe_del;
-            const int e_ext = up_e - scoring.gap_extend_del;
-            e_cur[j] = std::max(e_open, e_ext);
-            be[k] = e_ext > e_open;
-
-            const int f_open = h_cur[j - 1] - oe_ins;
-            const int f_ext = f_cur[j - 1] - scoring.gap_extend_ins;
-            f_cur[j] = std::max(f_open, f_ext);
-            bf[k] = f_ext > f_open;
-
-            const int diag_h =
-                inBand(i - 1, j - 1) ? h_prev[j - 1] : kNegInf;
-            const int m =
-                diag_h + scoring.score(target[i - 1], query[j - 1]);
-            int h = m;
-            uint8_t src = kFromDiag;
-            if (e_cur[j] > h) {
-                h = e_cur[j];
-                src = kFromE;
-            }
-            if (f_cur[j] > h) {
-                h = f_cur[j];
-                src = kFromF;
-            }
-            h_cur[j] = h;
-            bh[k] = src;
-        }
-        std::swap(h_prev, h_cur);
-        std::swap(e_prev, e_cur);
-        std::swap(f_prev, f_cur);
-    }
 
     // Traceback over the compact pointers.
     Alignment out;
     out.ref_end = tlen;
     out.query_end = qlen;
-    out.score = h_prev[qlen];
+    out.score = fill.score;
     std::vector<CigarOp> rev;
     auto pushRev = [&rev](char op, int len) {
         if (len <= 0)

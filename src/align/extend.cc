@@ -1,158 +1,19 @@
 #include "align/extend.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cstdlib>
+
+#include "align/kernel.h"
 
 namespace seedex {
-
-namespace {
-
-/** Paired H/E cell of the rolling DP row (ksw_extend layout: at the start
- *  of row i, slot j holds { H(i-1,j-1), E(i,j) }). */
-struct Cell
-{
-    int h = 0;
-    int e = 0;
-};
-
-} // namespace
 
 ExtendResult
 kswExtend(const Sequence &query, const Sequence &target, int h0,
           const ExtendConfig &config)
 {
-    assert(h0 > 0);
-    const int qlen = static_cast<int>(query.size());
-    const int tlen = static_cast<int>(target.size());
-    const Scoring &s = config.scoring;
-    const int oe_del = s.gap_open_del + s.gap_extend_del;
-    const int oe_ins = s.gap_open_ins + s.gap_extend_ins;
-    const long w = std::min<long>(config.band, qlen + tlen + 1);
-
-    ExtendResult res;
-    res.score = h0;
-    if (qlen == 0 || tlen == 0)
-        return res;
-
-    if (config.edge_trace)
-        config.edge_trace->boundary_e.assign(qlen, 0);
-
-    // Row "-1": pure-insertion prefix of the query, stored skewed (slot j
-    // holds H(-1, j-1)).
-    std::vector<Cell> eh(qlen + 1);
-    eh[0].h = h0;
-    if (qlen >= 1)
-        eh[1].h = h0 > oe_ins ? h0 - oe_ins : 0;
-    for (int j = 2; j <= qlen && eh[j - 1].h > s.gap_extend_ins; ++j)
-        eh[j].h = eh[j - 1].h - s.gap_extend_ins;
-
-    int max = h0, max_i = -1, max_j = -1, max_off = 0;
-    int gscore = -1, max_ie = -1;
-    int beg = 0, end = qlen;
-
-    for (int i = 0; i < tlen; ++i) {
-        int f = 0, h1, m = 0, mj = -1;
-        // Apply the band.
-        if (beg < i - w)
-            beg = static_cast<int>(i - w);
-        if (end > i + w + 1)
-            end = static_cast<int>(i + w + 1);
-        if (end > qlen)
-            end = qlen;
-        // First column: pure-deletion prefix of the target.
-        if (beg == 0) {
-            h1 = h0 - (s.gap_open_del + s.gap_extend_del * (i + 1));
-            if (h1 < 0)
-                h1 = 0;
-        } else {
-            h1 = 0;
-        }
-        for (int j = beg; j < end; ++j) {
-            // Invariant: eh[j] = { H(i-1,j-1), E(i,j) }, f = F(i,j),
-            // h1 = H(i,j-1).
-            Cell &p = eh[j];
-            int h, M = p.h, e = p.e;
-            p.h = h1; // becomes H(i,j-1) for the next row's diagonal
-            // Zero H blocks diagonal restarts (BWA: disallow alignments
-            // resuming through dead cells, keeps CIGARs canonical).
-            M = M ? M + s.score(target[i], query[j]) : 0;
-            h = M > e ? M : e;
-            h = h > f ? h : f;
-            h1 = h;
-            mj = m > h ? mj : j;
-            m = m > h ? m : h;
-            // E(i+1,j): deletion channel, floored at zero.
-            int t = M - oe_del;
-            t = t > 0 ? t : 0;
-            e -= s.gap_extend_del;
-            e = e > t ? e : t;
-            p.e = e;
-            // F(i,j+1): insertion channel, floored at zero.
-            t = M - oe_ins;
-            t = t > 0 ? t : 0;
-            f -= s.gap_extend_ins;
-            f = f > t ? f : t;
-        }
-        eh[end].h = h1;
-        eh[end].e = 0;
-
-        // Export the E value crossing the band's lower boundary: after row
-        // i = j + w, slot j = i - w holds E(i+1, j) = E(j+w+1, j).
-        if (config.edge_trace && i - w >= beg && i - w < end)
-            config.edge_trace->boundary_e[i - w] = eh[i - w].e;
-
-        if (end == qlen) { // query fully consumed: semi-global candidate
-            if (gscore < h1) {
-                gscore = h1;
-                max_ie = i;
-            }
-        }
-        if (m == 0)
-            break;
-        if (m > max) {
-            max = m;
-            max_i = i;
-            max_j = mj;
-            max_off = std::max(max_off, std::abs(mj - i));
-        } else if (config.zdrop > 0) {
-            if (i - max_i > mj - max_j) {
-                if (max - m -
-                        ((i - max_i) - (mj - max_j)) * s.gap_extend_del >
-                    config.zdrop) {
-                    res.zdropped = true;
-                    break;
-                }
-            } else {
-                if (max - m -
-                        ((mj - max_j) - (i - max_i)) * s.gap_extend_ins >
-                    config.zdrop) {
-                    res.zdropped = true;
-                    break;
-                }
-            }
-        }
-        // Trim the live interval: drop leading/trailing dead (H=E=0)
-        // cells; keep two slack columns past the last live one. This is
-        // the software "early termination" the paper reproduces in
-        // hardware speculatively (§IV-A).
-        int j = beg;
-        while (j < end && eh[j].h == 0 && eh[j].e == 0)
-            ++j;
-        beg = j;
-        j = end;
-        while (j >= beg && eh[j].h == 0 && eh[j].e == 0)
-            --j;
-        end = j + 2 < qlen ? j + 2 : qlen;
-    }
-
-    res.score = max;
-    res.qle = max_j + 1;
-    res.tle = max_i + 1;
-    res.gscore = gscore;
-    res.gtle = max_ie + 1;
-    res.max_off = max_off;
-    return res;
+    // The scalar reference implementation lives in kern::extendScalar
+    // (src/align/kernel.cc); this forwards to the dispatched (possibly
+    // vectorized) engine, which is bit-exact with it.
+    return bandedExtend(query, target, h0, config);
 }
 
 int

@@ -1,0 +1,88 @@
+#include "align/workspace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace seedex {
+
+namespace {
+
+constexpr size_t kAlignment = 64; // cache line / widest vector
+
+/** Workspace instruments: growth is the event the zero-allocation
+ *  contract forbids in steady state, so it is observable. */
+struct WorkspaceMetrics
+{
+    obs::Counter &grows =
+        obs::MetricsRegistry::global().counter("align.workspace.grow_events");
+    obs::Gauge &bytes =
+        obs::MetricsRegistry::global().gauge("align.workspace.bytes");
+};
+
+WorkspaceMetrics &
+workspaceMetrics()
+{
+    static WorkspaceMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+
+DpWorkspace::Buf::~Buf()
+{
+    ::operator delete(data_, std::align_val_t(kAlignment));
+}
+
+DpWorkspace &
+DpWorkspace::tls()
+{
+    static thread_local DpWorkspace workspace;
+    return workspace;
+}
+
+void
+DpWorkspace::grow(Buf &buf, size_t min_bytes)
+{
+    // Geometric growth with a floor keeps the number of grow events per
+    // thread O(log max-working-set) even under slowly increasing read
+    // lengths.
+    size_t bytes = std::max<size_t>(min_bytes, 1024);
+    bytes = std::max(bytes, buf.cap_ * 2);
+    bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+
+    const size_t old_cap = buf.cap_;
+    ::operator delete(buf.data_, std::align_val_t(kAlignment));
+    buf.data_ = ::operator new(bytes, std::align_val_t(kAlignment));
+    bytes_reserved_ += bytes - old_cap;
+    buf.cap_ = bytes;
+    ++grow_events_;
+
+    WorkspaceMetrics &m = workspaceMetrics();
+    m.grows.inc();
+    m.bytes.add(static_cast<int64_t>(bytes - old_cap));
+}
+
+void
+DpWorkspace::prepareExtension(size_t max_qlen, size_t max_tlen)
+{
+    // Extension rows are query-sized (+2 boundary cells + one vector of
+    // padding); the trace is query-sized; the systolic model mirrors the
+    // kernel's row. The banded-global grids are target-row-count ×
+    // band-width and band widths are workload-dependent, so they are
+    // left to grow on first use.
+    const size_t row = max_qlen + 64;
+    ensure<int32_t>(ext_h32, row);
+    ensure<int32_t>(ext_e32, row);
+    ensure<int16_t>(ext_h16a, row);
+    ensure<int16_t>(ext_h16b, row);
+    ensure<int16_t>(ext_e16, row);
+    ensure<int16_t>(ext_q16, row);
+    ensure<int16_t>(ext_t16, max_tlen + 64);
+    ensure<int32_t>(systolic, 2 * row);
+    ensure<int32_t>(check_rows, 2 * row);
+    edge_trace.boundary_e.reserve(max_qlen);
+}
+
+} // namespace seedex

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "align/workspace.h"
+
 namespace seedex {
 
 namespace {
@@ -71,6 +73,14 @@ extendChain(const Chain &chain, const Sequence &oriented_read,
     const Seed &anchor = chain.anchor();
     const int n = static_cast<int>(oriented_read.size());
     const uint64_t ref_len = reference.size();
+
+    // Both flanks are bounded by the read length plus the window slack;
+    // sizing the thread's workspace here keeps single-threaded pipeline
+    // runs allocation-free in steady state (the threaded driver also
+    // pre-sizes per worker, making this a capacity no-op there).
+    DpWorkspace::tls().prepareExtension(
+        oriented_read.size(),
+        oriented_read.size() + static_cast<size_t>(params.window_slack));
 
     ChainAlignment out;
     out.reverse = chain.reverse;

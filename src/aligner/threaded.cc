@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "align/workspace.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -149,8 +150,19 @@ alignThreaded(const Sequence &reference,
     Stopwatch wall;
     wall.start();
 
+    // Size the per-thread DP workspaces once, before any read is touched:
+    // every extension in this run is bounded by the longest read (plus the
+    // band-dependent target window), so the steady state never reallocates.
+    size_t max_read_len = 0;
+    for (const auto &read : reads)
+        max_read_len = std::max(max_read_len, read.second.size());
+    const size_t max_target_len =
+        max_read_len + static_cast<size_t>(std::max(config.pipeline.band, 0)) +
+        2;
+
     // ---- Producers: seeding + chaining.
     auto seeding_worker = [&] {
+        DpWorkspace::tls().prepareExtension(max_read_len, max_target_len);
         for (;;) {
             const size_t i = next_read.fetch_add(1);
             if (i >= reads.size())
@@ -175,6 +187,7 @@ alignThreaded(const Sequence &reference,
     // ---- Consumers: FPGA threads (batch, extend, post-process).
     const ExtensionParams &xp = config.pipeline.extension;
     auto fpga_worker = [&] {
+        DpWorkspace::tls().prepareExtension(max_read_len, max_target_len);
         std::vector<SeededRead> batch;
         for (;;) {
             batch.clear();

@@ -1,8 +1,8 @@
 #include "hw/edit_machine.h"
 
 #include <algorithm>
-#include <vector>
 
+#include "align/workspace.h"
 #include "hw/delta.h"
 
 namespace seedex {
@@ -64,7 +64,12 @@ EditMachine::run(const Sequence &query, const Sequence &target, int h0,
     const int ge_del = relaxed_.gap_open_del + relaxed_.gap_extend_del;
     const int ge_ins = relaxed_.gap_open_ins + relaxed_.gap_extend_ins;
 
-    std::vector<DeltaValue> prev(qlen), cur(qlen);
+    // Two rolling rows from the thread's DP workspace (slot edit_machine).
+    DpWorkspace &ws = DpWorkspace::tls();
+    DeltaValue *prev =
+        ws.ensure<DeltaValue>(ws.edit_machine, 2 * static_cast<size_t>(qlen));
+    DeltaValue *cur = prev + qlen;
+    std::fill(prev, prev + 2 * static_cast<size_t>(qlen), DeltaValue{});
 
     auto col_init = [&](int i) {
         return h0 -
@@ -134,7 +139,7 @@ EditMachine::run(const Sequence &query, const Sequence &target, int h0,
             }
         }
         std::swap(prev, cur);
-        std::fill(cur.begin(), cur.begin() + (jmax + 1), DeltaValue{});
+        std::fill(cur, cur + jmax + 1, DeltaValue{});
     }
     if (stats)
         stats->cycles = static_cast<uint64_t>(w) + rows + 8;

@@ -1,7 +1,8 @@
 #include "hw/systolic.h"
 
 #include <algorithm>
-#include <vector>
+
+#include "align/workspace.h"
 
 namespace seedex {
 
@@ -30,7 +31,11 @@ speculationException(const Sequence &query, const Sequence &target, int h0,
     {
         int h = 0, e = 0;
     };
-    std::vector<Cell> eh(qlen + 1);
+    // Skewed H/E column from the thread's DP workspace (slot systolic).
+    DpWorkspace &ws = DpWorkspace::tls();
+    Cell *eh =
+        ws.ensure<Cell>(ws.systolic, static_cast<size_t>(qlen) + 1);
+    std::fill(eh, eh + qlen + 1, Cell{});
     eh[0].h = h0;
     if (qlen >= 1)
         eh[1].h = h0 > oe_ins ? h0 - oe_ins : 0;

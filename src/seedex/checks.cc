@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <limits>
-#include <vector>
+
+#include "align/workspace.h"
 
 namespace seedex {
 
@@ -59,7 +60,11 @@ editCheck(const Sequence &query, const Sequence &target, int w, int h0,
     const int ge_del = relaxed.gap_open_del + relaxed.gap_extend_del;
     const int ge_ins = relaxed.gap_open_ins + relaxed.gap_extend_ins;
 
-    std::vector<int> prev(qlen, kNegInf), cur(qlen, kNegInf);
+    // Two rolling rows from the thread's DP workspace (slot check_rows).
+    DpWorkspace &ws = DpWorkspace::tls();
+    int *prev = ws.ensure<int>(ws.check_rows, 2 * static_cast<size_t>(qlen));
+    int *cur = prev + qlen;
+    std::fill(prev, prev + 2 * static_cast<size_t>(qlen), kNegInf);
 
     // True kernel initialization of the virtual left column, H(i,-1).
     auto col_init = [&](int i) {
@@ -97,7 +102,7 @@ editCheck(const Sequence &query, const Sequence &target, int w, int h0,
             }
         }
         std::swap(prev, cur);
-        std::fill(cur.begin(), cur.begin() + (jmax + 1), kNegInf);
+        std::fill(cur, cur + jmax + 1, kNegInf);
     }
     return res;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "align/workspace.h"
 #include "obs/metrics.h"
 
 namespace seedex {
@@ -90,7 +91,10 @@ SeedExFilter::run(const Sequence &query, const Sequence &target,
     FilterOutcome out;
     const int qlen = static_cast<int>(query.size());
 
-    BandEdgeTrace trace;
+    // The trace buffer lives in the thread's DP workspace so the
+    // steady-state filter path performs no heap allocation; kswExtend
+    // re-assigns it to qlen zeros below high-water capacity.
+    BandEdgeTrace &trace = DpWorkspace::tls().edge_trace;
     ExtendConfig cfg;
     cfg.scoring = config_.scoring;
     cfg.band = config_.band;

@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
 # Smoke check for the observability exports: runs the Fig. 17 bench with
-# --metrics-out (and a trace), then validates the run-report JSON schema.
+# --metrics-out (and a trace), then validates the run-report JSON schema;
+# then runs the kernel bench and validates the align.kernel.* instruments
+# and the BENCH_kernel.json sweep document.
 #
 # Usage: tools/check_metrics.sh [BUILD_DIR]     (default: build)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 BENCH="$BUILD_DIR/bench/bench_fig17_end_to_end"
+KERNEL_BENCH="$BUILD_DIR/bench/bench_kernel"
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 METRICS="$OUT_DIR/metrics.json"
 TRACE="$OUT_DIR/trace.json"
+KERNEL_METRICS="$OUT_DIR/kernel_metrics.json"
+KERNEL_SWEEP="$OUT_DIR/BENCH_kernel.json"
 
 if [[ ! -x "$BENCH" ]]; then
     echo "check_metrics: $BENCH not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+fi
+if [[ ! -x "$KERNEL_BENCH" ]]; then
+    echo "check_metrics: $KERNEL_BENCH not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
 fi
 
@@ -72,6 +81,67 @@ print(f"ok: {len(verdicts)} verdict counters sum to "
       f"{pipeline['extensions']} extensions; "
       f"extension latency p50={hist['p50']:.2e}s p99={hist['p99']:.2e}s; "
       f"{len(events)} trace events")
+EOF
+
+echo "== running $KERNEL_BENCH --quick --metrics-out=$KERNEL_METRICS"
+"$KERNEL_BENCH" --quick "--out=$KERNEL_SWEEP" \
+    "--metrics-out=$KERNEL_METRICS" > /dev/null
+
+[[ -s "$KERNEL_METRICS" ]] || { echo "FAIL: kernel metrics missing/empty" >&2; exit 1; }
+[[ -s "$KERNEL_SWEEP" ]] || { echo "FAIL: kernel sweep missing/empty" >&2; exit 1; }
+
+echo "== kernel instrument checks (python json)"
+python3 - "$KERNEL_METRICS" "$KERNEL_SWEEP" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["schema"] == "seedex.run_report/v1", report["schema"]
+assert report["bench"] == "bench_kernel"
+
+# The run report names the resolved ISA and the compiled/supported tiers.
+kernel = report["kernel"]
+tiers = ("scalar", "sse", "avx2")
+assert kernel["dispatch"] in tiers, kernel["dispatch"]
+assert kernel["available"], "no kernel tiers listed"
+assert all(t in tiers for t in kernel["available"]), kernel["available"]
+assert kernel["dispatch"] in kernel["available"]
+assert kernel["workspace_bytes"] > 0
+
+counters = report["metrics"]["counters"]
+# Per-tier dispatch counters exist; the dispatched tier's counter moved
+# (the bench funnels a slice through the instrumented kswExtend path).
+dispatch_total = sum(
+    counters.get(f"align.kernel.dispatch.{t}", 0) for t in tiers)
+assert dispatch_total > 0, "no instrumented kernel dispatches recorded"
+assert counters.get(f"align.kernel.dispatch.{kernel['dispatch']}", 0) > 0
+assert counters.get("align.kernel.cells", 0) > 0
+assert "align.kernel.overflow_escape" in counters
+
+# Per-tier latency histogram for the dispatched tier.
+hists = report["metrics"]["histograms"]
+hist = hists[f"align.kernel.{kernel['dispatch']}.seconds"]
+assert hist["count"] > 0
+assert hist["count"] == dispatch_total, (hist["count"], dispatch_total)
+
+with open(sys.argv[2]) as f:
+    sweep = json.load(f)
+assert sweep["bench"] == "bench_kernel"
+assert sweep["dispatch"] == kernel["dispatch"]
+assert sweep["extension"], "empty extension sweep"
+for cell in sweep["extension"] + sweep["gotoh"]:
+    assert cell["isa"] in tiers
+    assert cell["ns_per_extension"] > 0
+    assert cell["gcells_per_s"] > 0
+scalar_cells = [c for c in sweep["extension"] if c["isa"] == "scalar"]
+assert scalar_cells, "sweep lacks the scalar baseline"
+
+print(f"ok: kernel dispatch={kernel['dispatch']} "
+      f"available={kernel['available']} "
+      f"dispatches={dispatch_total} "
+      f"cells={counters['align.kernel.cells']} "
+      f"sweep={len(sweep['extension'])} extension cells")
 EOF
 
 echo "check_metrics: PASS"
