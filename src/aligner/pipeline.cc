@@ -95,16 +95,30 @@ Aligner::alignRead(const std::string &name, const Sequence &read,
                    PipelineStats *stats,
                    std::vector<ExtensionJob> *capture)
 {
+    Stopwatch seed_watch;
+    seed_watch.start();
+    const std::vector<Seed> seeds =
+        collectSeeds(*index_, read, config_.seeding);
+    seed_watch.stop();
+    return alignSeeded(name, read, seeds, seed_watch.seconds(), stats,
+                       capture);
+}
+
+SamRecord
+Aligner::alignSeeded(const std::string &name, const Sequence &read,
+                     const std::vector<Seed> &seeds, double seed_seconds,
+                     PipelineStats *stats,
+                     std::vector<ExtensionJob> *capture)
+{
     Stopwatch seeding_watch, extension_watch, other_watch;
     uint64_t read_extensions = 0;
 
-    // --- Seeding + chaining (the "seeding" bar of Fig. 17).
+    // --- Chaining (charged to the "seeding" bar of Fig. 17 together
+    //     with the SMEM/locate time handed in by the caller).
     std::vector<Chain> chains;
     {
         obs::TraceSpan span("aligner.seeding", "aligner");
         seeding_watch.start();
-        const std::vector<Seed> seeds =
-            collectSeeds(*index_, read, config_.seeding);
         chains = chainSeeds(seeds, config_.chaining);
         seeding_watch.stop();
     }
@@ -152,10 +166,11 @@ Aligner::alignRead(const std::string &name, const Sequence &read,
             stats->extensions += read_extensions;
     }
 
+    const double seeding_seconds = seed_seconds + seeding_watch.seconds();
     if (stats) {
         ++stats->reads;
         stats->unmapped += !rec.mapped();
-        stats->times.seeding += seeding_watch.seconds();
+        stats->times.seeding += seeding_seconds;
         stats->times.extension += extension_watch.seconds();
         stats->times.other += other_watch.seconds();
         if (auto *sx = dynamic_cast<SeedExEngine *>(engine_.get()))
@@ -168,7 +183,7 @@ Aligner::alignRead(const std::string &name, const Sequence &read,
         m.unmapped.inc();
     if (read_extensions)
         m.extensions.inc(read_extensions);
-    m.seeding.observe(seeding_watch.seconds());
+    m.seeding.observe(seeding_seconds);
     if (!chains.empty())
         m.extension.observe(extension_watch.seconds());
     m.other.observe(other_watch.seconds());
@@ -187,8 +202,31 @@ Aligner::alignBatch(
 {
     std::vector<SamRecord> records;
     records.reserve(reads.size());
-    for (const auto &[name, seq] : reads)
-        records.push_back(alignRead(name, seq, stats, capture));
+    const size_t batch = seedBatchSize();
+    if (batch <= 1) {
+        for (const auto &[name, seq] : reads)
+            records.push_back(alignRead(name, seq, stats, capture));
+        return records;
+    }
+
+    SeedWorkspace &ws = SeedWorkspace::tls();
+    std::vector<const Sequence *> queries(batch);
+    std::vector<std::vector<Seed>> seeds(batch);
+    for (size_t base = 0; base < reads.size(); base += batch) {
+        const size_t n = std::min(batch, reads.size() - base);
+        for (size_t r = 0; r < n; ++r)
+            queries[r] = &reads[base + r].second;
+        Stopwatch seed_watch;
+        seed_watch.start();
+        collectSeedsBatch(*index_, queries.data(), n, config_.seeding, ws,
+                          seeds);
+        seed_watch.stop();
+        const double per_read = seed_watch.seconds() / n;
+        for (size_t r = 0; r < n; ++r)
+            records.push_back(alignSeeded(reads[base + r].first,
+                                          reads[base + r].second, seeds[r],
+                                          per_read, stats, capture));
+    }
     return records;
 }
 

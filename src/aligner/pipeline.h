@@ -74,7 +74,9 @@ class Aligner
                         PipelineStats *stats = nullptr,
                         std::vector<ExtensionJob> *capture = nullptr);
 
-    /** Align a batch of (name, read) pairs. */
+    /** Align a batch of (name, read) pairs. Seeding runs in lockstep
+     *  batches of seedBatchSize() reads (identical output to alignRead
+     *  per read, but with cross-read prefetching on the FM-index). */
     std::vector<SamRecord>
     alignBatch(const std::vector<std::pair<std::string, Sequence>> &reads,
                PipelineStats *stats = nullptr,
@@ -86,6 +88,13 @@ class Aligner
     const PipelineConfig &config() const { return config_; }
 
   private:
+    /** Chain, extend, and emit one read whose seeds were already
+     *  collected (`seed_seconds` is charged to the seeding stage). */
+    SamRecord alignSeeded(const std::string &name, const Sequence &read,
+                          const std::vector<Seed> &seeds,
+                          double seed_seconds, PipelineStats *stats,
+                          std::vector<ExtensionJob> *capture);
+
     Sequence ref_;
     PipelineConfig config_;
     std::unique_ptr<FmdIndex> index_;

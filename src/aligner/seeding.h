@@ -46,6 +46,33 @@ struct SeedingParams
 };
 
 /**
+ * Reusable scratch for the seeding stage: SMEM workspace, per-read SMEM
+ * buffers, and the hit scratch of seed materialization. One per thread;
+ * buffers grow to the workload high-water mark, so steady-state seeding
+ * performs zero heap allocations (same arena discipline as DpWorkspace).
+ */
+struct SeedWorkspace
+{
+    SmemWorkspace smem;
+    /** Scalar-path SMEM buffer. */
+    std::vector<Smem> smems;
+    /** Batch-path SMEM buffers, one per in-flight read. */
+    std::vector<std::vector<Smem>> smem_batch;
+    /** locate() scratch of seed materialization. */
+    std::vector<FmdHit> hits;
+
+    /** This thread's workspace (created on first use). */
+    static SeedWorkspace &tls();
+};
+
+/**
+ * Number of reads whose SMEM searches advance in lockstep through one
+ * FmdIndex::extendBatch round (SEEDEX_SEED_BATCH, default 16, clamped
+ * to [1, 256]). 1 disables batching.
+ */
+size_t seedBatchSize();
+
+/**
  * Seeding stage: SMEM generation plus hit lookup, producing oriented
  * seeds ready for chaining. This is the stage the ERT accelerator [35]
  * speeds up; the pipeline model charges its time to the "seeding" bar of
@@ -53,6 +80,24 @@ struct SeedingParams
  */
 std::vector<Seed> collectSeeds(const FmdIndex &index, const Sequence &read,
                                const SeedingParams &params);
+
+/** collectSeeds into a caller-owned vector with reusable scratch (the
+ *  zero-allocation form; `seeds` is cleared first). */
+void collectSeedsInto(const FmdIndex &index, const Sequence &read,
+                      const SeedingParams &params, SeedWorkspace &ws,
+                      std::vector<Seed> &seeds);
+
+/**
+ * Seeding for a batch of reads: SMEM generation runs in lockstep across
+ * the batch (collectSmemsBatch) so each extension round prefetches every
+ * read's next BWT block before computing any of them. `out` must have n
+ * entries; each is cleared and filled with exactly the seeds
+ * collectSeeds would produce for that read.
+ */
+void collectSeedsBatch(const FmdIndex &index,
+                       const Sequence *const *reads, size_t n,
+                       const SeedingParams &params, SeedWorkspace &ws,
+                       std::vector<std::vector<Seed>> &out);
 
 } // namespace seedex
 

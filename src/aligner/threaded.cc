@@ -160,27 +160,41 @@ alignThreaded(const Sequence &reference,
         max_read_len + static_cast<size_t>(std::max(config.pipeline.band, 0)) +
         2;
 
-    // ---- Producers: seeding + chaining.
+    // ---- Producers: seeding + chaining. Each claims a chunk of reads
+    // and advances their SMEM searches in lockstep (collectSeedsBatch),
+    // so the FM-index walks of the whole chunk overlap in the memory
+    // system instead of stalling one cache miss at a time.
+    const size_t seed_chunk = seedBatchSize();
     auto seeding_worker = [&] {
         DpWorkspace::tls().prepareExtension(max_read_len, max_target_len);
+        SeedWorkspace &ws = SeedWorkspace::tls();
+        std::vector<const Sequence *> queries(seed_chunk);
+        std::vector<std::vector<Seed>> seeds(seed_chunk);
         for (;;) {
-            const size_t i = next_read.fetch_add(1);
-            if (i >= reads.size())
+            const size_t base = next_read.fetch_add(seed_chunk);
+            if (base >= reads.size())
                 return;
-            obs::TraceSpan span("threaded.seed_read", "threaded");
-            SeededRead item;
-            item.read_idx = i;
-            item.name = &reads[i].first;
-            item.read = &reads[i].second;
-            const std::vector<Seed> seeds = collectSeeds(
-                index, *item.read, config.pipeline.seeding);
-            item.chains = chainSeeds(seeds, config.pipeline.chaining);
-            bool any_reverse = false;
-            for (const Chain &chain : item.chains)
-                any_reverse |= chain.reverse;
-            if (any_reverse)
-                item.reverse_complement = item.read->reverseComplement();
-            queue.push(std::move(item));
+            const size_t n = std::min(seed_chunk, reads.size() - base);
+            obs::TraceSpan span("threaded.seed_chunk", "threaded");
+            for (size_t r = 0; r < n; ++r)
+                queries[r] = &reads[base + r].second;
+            collectSeedsBatch(index, queries.data(), n,
+                              config.pipeline.seeding, ws, seeds);
+            for (size_t r = 0; r < n; ++r) {
+                SeededRead item;
+                item.read_idx = base + r;
+                item.name = &reads[base + r].first;
+                item.read = &reads[base + r].second;
+                item.chains =
+                    chainSeeds(seeds[r], config.pipeline.chaining);
+                bool any_reverse = false;
+                for (const Chain &chain : item.chains)
+                    any_reverse |= chain.reverse;
+                if (any_reverse)
+                    item.reverse_complement =
+                        item.read->reverseComplement();
+                queue.push(std::move(item));
+            }
         }
     };
 

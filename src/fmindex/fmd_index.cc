@@ -1,7 +1,14 @@
 #include "fmindex/fmd_index.h"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "fmindex/suffix_array.h"
 
@@ -16,9 +23,93 @@ compShifted(uint8_t c)
     return c == 0 ? 0 : static_cast<uint8_t>(5 - c);
 }
 
+constexpr uint64_t kIndexMagic = 0x53454544455846ULL; // "SEEDEXF"
+constexpr uint32_t kIndexVersion = 1;
+
+template <typename T>
+bool
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+    return os.good();
+}
+
+template <typename T>
+bool
+readPod(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return is.good();
+}
+
+template <typename T>
+bool
+writeVec(std::ostream &os, const std::vector<T> &v)
+{
+    if (!writePod(os, static_cast<uint64_t>(v.size())))
+        return false;
+    os.write(reinterpret_cast<const char *>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+    return os.good();
+}
+
+template <typename T>
+bool
+readVec(std::istream &is, std::vector<T> &v, uint64_t max_elems)
+{
+    uint64_t n = 0;
+    if (!readPod(is, n) || n > max_elems)
+        return false;
+    v.resize(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    return is.good();
+}
+
+/** Thread-local scratch of the lockstep locate walk. */
+struct LocateScratch
+{
+    std::vector<uint64_t> j;
+    std::vector<uint64_t> steps;
+    std::vector<uint64_t> pos;
+    std::vector<uint8_t> done;
+};
+
+LocateScratch &
+locateScratch()
+{
+    static thread_local LocateScratch scratch;
+    return scratch;
+}
+
 } // namespace
 
-FmdIndex::FmdIndex(const Sequence &reference)
+FmdIndexOptions
+FmdIndexOptions::fromEnv()
+{
+    FmdIndexOptions opts;
+    if (const char *layout = std::getenv("SEEDEX_FM_LAYOUT")) {
+        if (std::string(layout) == "naive")
+            opts.layout = FmLayout::Naive;
+    }
+    if (const char *kmer = std::getenv("SEEDEX_SEED_KMER")) {
+        const std::string v(kmer);
+        if (v == "0" || v == "off")
+            opts.kmer_k = 0;
+        else if (!v.empty())
+            opts.kmer_k = std::clamp(std::atoi(kmer), 1, 12);
+    }
+    return opts;
+}
+
+FmdThreadCounters &
+FmdIndex::threadCounters()
+{
+    static thread_local FmdThreadCounters counters;
+    return counters;
+}
+
+FmdIndex::FmdIndex(const Sequence &reference, const FmdIndexOptions &options)
 {
     ref_len_ = reference.size();
     if (ref_len_ == 0)
@@ -37,12 +128,18 @@ FmdIndex::FmdIndex(const Sequence &reference)
 
     const std::vector<int32_t> sa = buildSuffixArray(text);
 
-    // Full BWT including the sentinel row at rank 0 (suffix "$").
+    // Full BWT including the sentinel row at rank 0 (suffix "$"). The
+    // suffix array is sampled by *text position*: every rank whose
+    // suffix starts at a multiple of kSaStep is marked, which bounds
+    // any LF walk from an unmarked rank to < kSaStep steps.
     bwt_.resize(text_len_);
-    sa_samples_.assign((text_len_ + kSaStep - 1) / kSaStep, 0);
+    sa_mark_.assign((text_len_ + 63) / 64, 0);
+    sa_samples_.clear();
     auto record = [&](uint64_t rank, uint64_t pos) {
-        if (rank % kSaStep == 0)
-            sa_samples_[rank / kSaStep] = static_cast<int32_t>(pos);
+        if (pos % kSaStep == 0) {
+            sa_mark_[rank / 64] |= uint64_t{1} << (rank % 64);
+            sa_samples_.push_back(static_cast<int32_t>(pos));
+        }
     };
     bwt_[0] = text[2 * L - 1];
     record(0, 2 * L); // the sentinel position
@@ -54,6 +151,7 @@ FmdIndex::FmdIndex(const Sequence &reference)
             primary_ = rank;
         record(rank, pos);
     }
+    buildSaMarkRank();
 
     // C array: counts_[c] = number of symbols < c.
     uint64_t hist[5] = {};
@@ -63,22 +161,75 @@ FmdIndex::FmdIndex(const Sequence &reference)
     for (int c = 1; c <= 5; ++c)
         counts_[c] = counts_[c - 1] + hist[c - 1];
 
-    // Occ checkpoints.
-    const uint64_t blocks = text_len_ / kOccStep + 1;
-    occ_checkpoints_.assign(blocks * 5, 0);
-    uint64_t running[5] = {};
-    for (uint64_t i = 0; i < text_len_; ++i) {
-        if (i % kOccStep == 0) {
-            for (int c = 0; c < 5; ++c)
-                occ_checkpoints_[(i / kOccStep) * 5 + c] = running[c];
+    finishConstruction(options);
+}
+
+void
+FmdIndex::finishConstruction(const FmdIndexOptions &options)
+{
+    layout_ = options.layout;
+    if (layout_ == FmLayout::Packed) {
+        packed_ = PackedBwt(bwt_);
+        bwt_.clear();
+        bwt_.shrink_to_fit();
+    } else {
+        // Occ checkpoints of the naive layout.
+        const uint64_t blocks = text_len_ / kOccStep + 1;
+        occ_checkpoints_.assign(blocks * 5, 0);
+        uint64_t running[5] = {};
+        for (uint64_t i = 0; i < text_len_; ++i) {
+            if (i % kOccStep == 0) {
+                for (int c = 0; c < 5; ++c)
+                    occ_checkpoints_[(i / kOccStep) * 5 + c] = running[c];
+            }
+            ++running[bwt_[i]];
         }
-        ++running[bwt_[i]];
     }
+
+    const int k = options.kmer_k < 0 ? KmerTable::defaultK(ref_len_)
+                                     : std::min(options.kmer_k, 12);
+    if (k > 0)
+        kmer_table_ = std::make_unique<KmerTable>(*this, k);
+}
+
+void
+FmdIndex::buildSaMarkRank()
+{
+    sa_mark_rank_.resize(sa_mark_.size());
+    uint32_t running = 0;
+    for (size_t w = 0; w < sa_mark_.size(); ++w) {
+        sa_mark_rank_[w] = running;
+        running += static_cast<uint32_t>(std::popcount(sa_mark_[w]));
+    }
+}
+
+bool
+FmdIndex::saMarked(uint64_t rank) const
+{
+    return (sa_mark_[rank / 64] >> (rank % 64)) & 1;
+}
+
+uint64_t
+FmdIndex::saSampleSlot(uint64_t rank) const
+{
+    const uint64_t below = sa_mark_[rank / 64] &
+        ((uint64_t{1} << (rank % 64)) - 1);
+    return sa_mark_rank_[rank / 64] +
+           static_cast<uint64_t>(std::popcount(below));
+}
+
+uint8_t
+FmdIndex::bwtSymbol(uint64_t rank) const
+{
+    return layout_ == FmLayout::Packed ? packed_.symbolAt(rank)
+                                       : bwt_[rank];
 }
 
 uint64_t
 FmdIndex::occ(uint8_t c, uint64_t i) const
 {
+    if (layout_ == FmLayout::Packed)
+        return packed_.rank(c, i);
     const uint64_t block = i / kOccStep;
     uint64_t n = occ_checkpoints_[block * 5 + c];
     for (uint64_t j = block * kOccStep; j < i; ++j)
@@ -89,11 +240,32 @@ FmdIndex::occ(uint8_t c, uint64_t i) const
 void
 FmdIndex::occAll(uint64_t i, uint64_t out[5]) const
 {
+    if (layout_ == FmLayout::Packed) {
+        packed_.rankAll(i, out);
+        return;
+    }
     const uint64_t block = i / kOccStep;
     for (int c = 0; c < 5; ++c)
         out[c] = occ_checkpoints_[block * 5 + c];
     for (uint64_t j = block * kOccStep; j < i; ++j)
         ++out[bwt_[j]];
+}
+
+void
+FmdIndex::prefetchOcc(uint64_t i) const
+{
+    if (layout_ == FmLayout::Packed) {
+        packed_.prefetch(i);
+    } else {
+        __builtin_prefetch(&occ_checkpoints_[(i / kOccStep) * 5], 0, 3);
+        __builtin_prefetch(&bwt_[i - i % kOccStep], 0, 3);
+    }
+}
+
+void
+FmdIndex::prefetchSaMark(uint64_t j) const
+{
+    __builtin_prefetch(&sa_mark_[j / 64], 0, 3);
 }
 
 FmdInterval
@@ -121,9 +293,14 @@ FmdIndex::extend(const FmdInterval &in, Base c, bool back) const
         FmdInterval out = extend(swapped, complement(c), true);
         return {out.l, out.k, out.s, in.info};
     }
+    threadCounters().occ_calls += 2;
     uint64_t tk[5], tl[5];
-    occAll(in.k, tk);
-    occAll(in.k + in.s, tl);
+    if (layout_ == FmLayout::Packed) {
+        packed_.rankAllPair(in.k, in.k + in.s, tk, tl);
+    } else {
+        occAll(in.k, tk);
+        occAll(in.k + in.s, tl);
+    }
     uint64_t size[5];
     for (int b = 0; b < 5; ++b)
         size[b] = tl[b] - tk[b];
@@ -143,30 +320,68 @@ FmdIndex::extend(const FmdInterval &in, Base c, bool back) const
     return out;
 }
 
+void
+FmdIndex::extendBatch(FmdExtendRequest *requests, size_t n) const
+{
+    // Single fused pass: request r+kLookahead's occ blocks are hinted
+    // while request r computes, so every line is in flight kLookahead
+    // extensions ahead of its use without paying a second sweep over
+    // the request array. A backward extension ranks at [k, k+s); a
+    // forward one ranks the same span on the reverse-complement side,
+    // [l, l+s).
+    constexpr size_t kLookahead = 8;
+    const size_t warm = n < kLookahead ? n : kLookahead;
+    for (size_t r = 0; r < warm; ++r) {
+        const FmdExtendRequest &req = requests[r];
+        if (req.c >= kNumBases || req.in.empty())
+            continue;
+        const uint64_t lo = req.back ? req.in.k : req.in.l;
+        prefetchOcc(lo);
+        prefetchOcc(lo + req.in.s);
+    }
+    for (size_t r = 0; r < n; ++r) {
+        if (r + kLookahead < n) {
+            const FmdExtendRequest &next = requests[r + kLookahead];
+            if (next.c < kNumBases && !next.in.empty()) {
+                const uint64_t lo = next.back ? next.in.k : next.in.l;
+                prefetchOcc(lo);
+                prefetchOcc(lo + next.in.s);
+            }
+        }
+        requests[r].in = extend(requests[r].in, requests[r].c,
+                                requests[r].back);
+    }
+}
+
 uint64_t
 FmdIndex::suffixToText(uint64_t rank) const
 {
+    // Position-sampled SA: walk LF until a marked rank; each step moves
+    // the suffix start one position left, so a marked position (a
+    // multiple of kSaStep) is hit in < kSaStep steps — asserted, not
+    // hoped for.
     uint64_t steps = 0;
     uint64_t j = rank;
-    while (j % kSaStep != 0) {
-        const uint8_t c = bwt_[j];
-        if (c == 0)
-            return steps; // reached the row of suffix 0
+    FmdThreadCounters &tc = threadCounters();
+    while (!saMarked(j)) {
+        const uint8_t c = bwtSymbol(j);
+        // c == 0 only at the primary row (suffix position 0), which is
+        // always marked; the walk cannot pass through it.
         j = counts_[c] + occ(c, j);
+        ++tc.occ_calls;
         ++steps;
+        assert(steps < kSaStep && "locate walk exceeded kSaStep");
     }
-    return static_cast<uint64_t>(sa_samples_[j / kSaStep]) + steps;
+    return static_cast<uint64_t>(sa_samples_[saSampleSlot(j)]) + steps;
 }
 
-std::vector<FmdHit>
-FmdIndex::locate(const FmdInterval &interval, size_t max_hits,
-                 size_t pattern_len) const
+void
+FmdIndex::locateInto(const FmdInterval &interval, size_t max_hits,
+                     size_t pattern_len, std::vector<FmdHit> &hits) const
 {
-    std::vector<FmdHit> hits;
     const uint64_t n = std::min<uint64_t>(interval.s, max_hits);
     const uint64_t L = ref_len_;
-    for (uint64_t r = 0; r < n; ++r) {
-        const uint64_t pos = suffixToText(interval.k + r);
+    auto emit = [&](uint64_t pos) {
         FmdHit hit;
         if (pos < L) {
             hit.pos = pos;
@@ -176,7 +391,65 @@ FmdIndex::locate(const FmdInterval &interval, size_t max_hits,
             hit.reverse = true;
         }
         hits.push_back(hit);
+    };
+    if (n == 0)
+        return;
+    if (n == 1) {
+        emit(suffixToText(interval.k));
+        return;
     }
+
+    // Lockstep walk of all n suffix resolutions: every round advances
+    // each unresolved walker one LF step and prefetches its next occ
+    // block and mark word, so the n walks' cache misses overlap.
+    LocateScratch &sc = locateScratch();
+    sc.j.resize(n);
+    sc.steps.resize(n);
+    sc.pos.resize(n);
+    sc.done.resize(n);
+    for (uint64_t r = 0; r < n; ++r) {
+        sc.j[r] = interval.k + r;
+        sc.steps[r] = 0;
+        sc.done[r] = 0;
+        prefetchSaMark(sc.j[r]);
+        prefetchOcc(sc.j[r]);
+    }
+    uint64_t remaining = n;
+    FmdThreadCounters &tc = threadCounters();
+    while (remaining > 0) {
+        for (uint64_t r = 0; r < n; ++r) {
+            if (sc.done[r])
+                continue;
+            const uint64_t j = sc.j[r];
+            if (saMarked(j)) {
+                sc.pos[r] =
+                    static_cast<uint64_t>(sa_samples_[saSampleSlot(j)]) +
+                    sc.steps[r];
+                sc.done[r] = 1;
+                --remaining;
+                continue;
+            }
+            const uint8_t c = bwtSymbol(j);
+            const uint64_t next = counts_[c] + occ(c, j);
+            ++tc.occ_calls;
+            ++sc.steps[r];
+            assert(sc.steps[r] < kSaStep && "locate walk exceeded kSaStep");
+            sc.j[r] = next;
+            prefetchOcc(next);
+            prefetchSaMark(next);
+        }
+    }
+    for (uint64_t r = 0; r < n; ++r)
+        emit(sc.pos[r]);
+}
+
+std::vector<FmdHit>
+FmdIndex::locate(const FmdInterval &interval, size_t max_hits,
+                 size_t pattern_len) const
+{
+    std::vector<FmdHit> hits;
+    hits.reserve(std::min<uint64_t>(interval.s, max_hits));
+    locateInto(interval, max_hits, pattern_len, hits);
     return hits;
 }
 
@@ -197,8 +470,92 @@ FmdIndex::match(const Sequence &pattern) const
 size_t
 FmdIndex::storageBytes() const
 {
-    return bwt_.size() + occ_checkpoints_.size() * sizeof(uint64_t) +
-           sa_samples_.size() * sizeof(int32_t);
+    size_t bytes = bwt_.size() + packed_.storageBytes() +
+        occ_checkpoints_.size() * sizeof(uint64_t) +
+        sa_mark_.size() * sizeof(uint64_t) +
+        sa_mark_rank_.size() * sizeof(uint32_t) +
+        sa_samples_.size() * sizeof(int32_t);
+    if (kmer_table_)
+        bytes += kmer_table_->storageBytes();
+    return bytes;
+}
+
+bool
+FmdIndex::save(std::ostream &os) const
+{
+    bool ok = writePod(os, kIndexMagic) && writePod(os, kIndexVersion) &&
+        writePod(os, static_cast<uint8_t>(layout_)) &&
+        writePod(os, ref_len_) && writePod(os, text_len_) &&
+        writePod(os, primary_);
+    for (uint64_t c : counts_)
+        ok = ok && writePod(os, c);
+    ok = ok && writeVec(os, sa_mark_) && writeVec(os, sa_samples_);
+    if (!ok)
+        return false;
+    if (layout_ == FmLayout::Packed) {
+        ok = writeVec(os, packed_.blocks_) &&
+            writeVec(os, packed_.exceptions_) &&
+            writePod(os, packed_.size_);
+    } else {
+        ok = writeVec(os, bwt_);
+    }
+    return ok;
+}
+
+std::unique_ptr<FmdIndex>
+FmdIndex::load(std::istream &is, int kmer_k)
+{
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    uint8_t layout = 0;
+    std::unique_ptr<FmdIndex> idx(new FmdIndex());
+    bool ok = readPod(is, magic) && magic == kIndexMagic &&
+        readPod(is, version) && version == kIndexVersion &&
+        readPod(is, layout) && layout <= 1 &&
+        readPod(is, idx->ref_len_) && readPod(is, idx->text_len_) &&
+        readPod(is, idx->primary_);
+    if (!ok || idx->text_len_ != 2 * idx->ref_len_ + 1)
+        return nullptr;
+    idx->layout_ = static_cast<FmLayout>(layout);
+    for (uint64_t &c : idx->counts_)
+        ok = ok && readPod(is, c);
+    const uint64_t cap = idx->text_len_ + 64;
+    ok = ok && readVec(is, idx->sa_mark_, cap) &&
+        readVec(is, idx->sa_samples_, cap);
+    if (!ok)
+        return nullptr;
+    if (idx->layout_ == FmLayout::Packed) {
+        ok = readVec(is, idx->packed_.blocks_, cap) &&
+            readVec(is, idx->packed_.exceptions_, cap) &&
+            readPod(is, idx->packed_.size_);
+        if (!ok || idx->packed_.size_ != idx->text_len_)
+            return nullptr;
+        if (!idx->packed_.exceptions_.empty())
+            idx->packed_.first_exception_ =
+                idx->packed_.exceptions_.front();
+    } else {
+        if (!readVec(is, idx->bwt_, cap) ||
+            idx->bwt_.size() != idx->text_len_)
+            return nullptr;
+        // Rebuild the derived checkpoint array rather than storing it.
+        const uint64_t blocks = idx->text_len_ / kOccStep + 1;
+        idx->occ_checkpoints_.assign(blocks * 5, 0);
+        uint64_t running[5] = {};
+        for (uint64_t i = 0; i < idx->text_len_; ++i) {
+            if (i % kOccStep == 0) {
+                for (int c = 0; c < 5; ++c)
+                    idx->occ_checkpoints_[(i / kOccStep) * 5 + c] =
+                        running[c];
+            }
+            ++running[idx->bwt_[i]];
+        }
+    }
+    idx->buildSaMarkRank();
+    const int k = kmer_k < 0 ? KmerTable::defaultK(idx->ref_len_)
+                             : std::min(kmer_k, 12);
+    if (k > 0)
+        idx->kmer_table_ = std::make_unique<KmerTable>(*idx, k);
+    return idx;
 }
 
 } // namespace seedex

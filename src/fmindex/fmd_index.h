@@ -2,8 +2,12 @@
 #define SEEDEX_FMINDEX_FMD_INDEX_H
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
+#include "fmindex/kmer_table.h"
+#include "fmindex/packed_bwt.h"
 #include "genome/sequence.h"
 
 namespace seedex {
@@ -34,6 +38,59 @@ struct FmdHit
     uint64_t pos = 0;
     /** True if the occurrence is on the reverse-complement strand. */
     bool reverse = false;
+
+    bool operator==(const FmdHit &) const = default;
+};
+
+/** BWT storage layout of an FmdIndex. */
+enum class FmLayout : uint8_t
+{
+    /** One byte per symbol + separate occ checkpoint array (the
+     *  original layout; kept as the differential-test oracle). */
+    Naive = 0,
+    /** 2-bit symbols interleaved with per-cache-line checkpoints; occ
+     *  is a handful of popcounts on one 64-byte block (default). */
+    Packed = 1,
+};
+
+/** Construction knobs (resolved from the environment by default). */
+struct FmdIndexOptions
+{
+    FmLayout layout = FmLayout::Packed;
+    /** k of the k-mer interval table: -1 = auto from genome size,
+     *  0 = disabled, else clamped to [1, 12]. */
+    int kmer_k = -1;
+
+    /** SEEDEX_FM_LAYOUT=naive|packed, SEEDEX_SEED_KMER=<k>|0. */
+    static FmdIndexOptions fromEnv();
+};
+
+/**
+ * One backward/forward extension request for FmdIndex::extendBatch.
+ * The extension is computed in place — `in` holds the source interval
+ * on entry and the extended interval (`info` propagated unchanged) on
+ * return — so a request is a single 40-byte record instead of a
+ * 72-byte in/out pair; at ~130 extensions per read the round-trip
+ * through the request buffer is a measurable share of seeding time.
+ */
+struct FmdExtendRequest
+{
+    FmdInterval in;
+    Base c = 0;
+    bool back = true;
+};
+
+/**
+ * Per-thread query counters (relaxed, no synchronization): the seeding
+ * layer snapshots these around a batch and feeds the deltas to the
+ * metrics registry, so the hot occ path never touches an atomic.
+ */
+struct FmdThreadCounters
+{
+    /** occ/rank queries issued (2 per extension step, 1 per LF step). */
+    uint64_t occ_calls = 0;
+    /** Forward-extension steps answered by the k-mer table. */
+    uint64_t kmer_hits = 0;
 };
 
 /**
@@ -43,15 +100,32 @@ struct FmdHit
  *
  * Alphabet: $ < A < C < G < T (codes shift by one internally); N bases
  * must be resolved before construction (PackedSequence semantics).
+ *
+ * Two BWT layouts sit behind the same API (FmLayout); both produce
+ * bit-identical intervals and hits. The suffix array is sampled by text
+ * position (every kSaStep-th position marks its rank), which bounds
+ * every locate walk to < kSaStep LF steps.
  */
 class FmdIndex
 {
   public:
     /** Build from a reference (codes 0..3; N collapses to A). */
-    explicit FmdIndex(const Sequence &reference);
+    explicit FmdIndex(const Sequence &reference)
+        : FmdIndex(reference, FmdIndexOptions::fromEnv())
+    {}
+
+    FmdIndex(const Sequence &reference, const FmdIndexOptions &options);
+
+    FmdIndex(const FmdIndex &) = delete;
+    FmdIndex &operator=(const FmdIndex &) = delete;
 
     /** Reference length L (the index text is 2L+... with both strands). */
     uint64_t referenceLength() const { return ref_len_; }
+
+    FmLayout layout() const { return layout_; }
+
+    /** The k-mer interval table, or nullptr when disabled. */
+    const KmerTable *kmerTable() const { return kmer_table_.get(); }
 
     /** Interval of the empty pattern extended by base c (the seed of any
      *  search). */
@@ -65,10 +139,27 @@ class FmdIndex
      */
     FmdInterval extend(const FmdInterval &in, Base c, bool back) const;
 
+    /**
+     * Extend a batch of independent intervals in place (each request's
+     * `in` becomes the extended interval). A fused software-pipelined
+     * pass prefetches request r+8's occ blocks while computing request
+     * r, so every cache line is in flight several extensions before it
+     * is needed instead of stalling per query.
+     */
+    void extendBatch(FmdExtendRequest *requests, size_t n) const;
+
     /** All positions of the interval's occurrences (<= max_hits). */
     std::vector<FmdHit> locate(const FmdInterval &interval,
                                size_t max_hits,
                                size_t pattern_len) const;
+
+    /**
+     * locate() into a caller-owned vector (appended): the whole
+     * interval's suffix-walks advance in lockstep with prefetching, and
+     * the steady state allocates nothing (scratch is thread-local).
+     */
+    void locateInto(const FmdInterval &interval, size_t max_hits,
+                    size_t pattern_len, std::vector<FmdHit> &hits) const;
 
     /** Exact-match interval of a whole pattern (backward search). */
     FmdInterval match(const Sequence &pattern) const;
@@ -77,22 +168,57 @@ class FmdIndex
      *  discussion of §VIII). */
     size_t storageBytes() const;
 
+    // ---- Serialization.
+    /** Write the index (without the k-mer table, which is rebuilt at
+     *  load) to a binary stream; returns false on I/O failure. */
+    bool save(std::ostream &os) const;
+
+    /** Load an index previously written by save(); the k-mer table is
+     *  rebuilt per `options.kmer_k`. Returns nullptr on a malformed
+     *  stream. The saved layout is preserved. */
+    static std::unique_ptr<FmdIndex>
+    load(std::istream &is, int kmer_k = -1);
+
+    /** This thread's query counters (see FmdThreadCounters). */
+    static FmdThreadCounters &threadCounters();
+
+    /** Sampling step of the suffix array (also the exclusive bound on
+     *  any locate walk's LF-step count). */
+    static constexpr uint64_t kSaStep = 8;
+
   private:
+    FmdIndex() = default; // for load()
+
     uint64_t occ(uint8_t c, uint64_t i) const;
     void occAll(uint64_t i, uint64_t out[5]) const;
+    uint8_t bwtSymbol(uint64_t rank) const;
     uint64_t suffixToText(uint64_t rank) const;
+    /** Prefetch the occ block(s) covering position i. */
+    void prefetchOcc(uint64_t i) const;
+    /** Prefetch the suffix-array mark word of rank j. */
+    void prefetchSaMark(uint64_t j) const;
+    bool saMarked(uint64_t rank) const;
+    uint64_t saSampleSlot(uint64_t rank) const;
+    void buildSaMarkRank();
+    void finishConstruction(const FmdIndexOptions &options);
 
     uint64_t ref_len_ = 0;
     uint64_t text_len_ = 0; ///< 2 * ref_len_ + 1 (with sentinel)
-    std::vector<uint8_t> bwt_; ///< BWT symbols in 0..4 ($=0, A=1, ...)
+    FmLayout layout_ = FmLayout::Packed;
+    std::vector<uint8_t> bwt_; ///< naive layout: symbols in 0..4 ($=0)
+    PackedBwt packed_;         ///< packed layout
     uint64_t primary_ = 0; ///< BWT row whose suffix is the whole text
     uint64_t counts_[6] = {}; ///< C array (cumulative symbol counts)
-    /** Occ checkpoints every kOccStep symbols, 5 counters each. */
+    /** Naive layout: occ checkpoints every kOccStep symbols, 5 each. */
     static constexpr uint64_t kOccStep = 64;
     std::vector<uint64_t> occ_checkpoints_;
-    /** Sampled suffix array (every kSaStep ranks). */
-    static constexpr uint64_t kSaStep = 8;
+    /** Position-sampled suffix array: ranks whose text position is a
+     *  multiple of kSaStep are marked; samples are stored in rank
+     *  order and found via a word-level rank directory. */
+    std::vector<uint64_t> sa_mark_;
+    std::vector<uint32_t> sa_mark_rank_;
     std::vector<int32_t> sa_samples_;
+    std::unique_ptr<KmerTable> kmer_table_;
 };
 
 } // namespace seedex

@@ -1,0 +1,56 @@
+#include "fmindex/packed_bwt.h"
+
+namespace seedex {
+
+PackedBwt::PackedBwt(const std::vector<uint8_t> &bwt)
+{
+    size_ = bwt.size();
+    const uint64_t n_blocks = size_ / kBlockSymbols + 1;
+    blocks_.assign(n_blocks, Block{});
+
+    uint64_t running[4] = {};
+    for (uint64_t i = 0; i < size_; ++i) {
+        const uint64_t b = i / kBlockSymbols;
+        const uint64_t off = i % kBlockSymbols;
+        if (off == 0) {
+            for (int c = 0; c < 4; ++c)
+                blocks_[b].cp[c] = running[c];
+        }
+        const uint8_t sym = bwt[i];
+        uint8_t code = 0;
+        if (sym >= 1 && sym <= 4) {
+            code = static_cast<uint8_t>(sym - 1);
+        } else {
+            exceptions_.push_back(i); // stored as code 0, fixed up on query
+        }
+        blocks_[b].data[off / kWordSymbols] |=
+            static_cast<uint64_t>(code) << (2 * (off % kWordSymbols));
+        ++running[code];
+    }
+    // Checkpoint for the tail block (only reachable when size_ is a
+    // multiple of kBlockSymbols and i == size_ is queried).
+    if (size_ % kBlockSymbols == 0) {
+        for (int c = 0; c < 4; ++c)
+            blocks_[size_ / kBlockSymbols].cp[c] = running[c];
+    }
+    if (!exceptions_.empty())
+        first_exception_ = exceptions_.front();
+}
+
+uint8_t
+PackedBwt::symbolAt(uint64_t i) const
+{
+    for (uint64_t pos : exceptions_) {
+        if (pos == i)
+            return 0;
+        if (pos > i)
+            break;
+    }
+    const Block &b = blocks_[i / kBlockSymbols];
+    const uint64_t off = i % kBlockSymbols;
+    const uint64_t code =
+        (b.data[off / kWordSymbols] >> (2 * (off % kWordSymbols))) & 3;
+    return static_cast<uint8_t>(code + 1);
+}
+
+} // namespace seedex

@@ -7,19 +7,47 @@ namespace seedex {
 namespace {
 
 /**
+ * One forward-sweep step of the k-mer fast path: while the growing
+ * prefix still fits the table, the next interval is a single lookup
+ * instead of two occ queries. Returns true and fills `ok` when the
+ * table answered; the caller falls back to extend() otherwise.
+ *
+ * `code` accumulates query[x..i] two bits per base; `plen` = i - x + 1.
+ */
+inline bool
+kmerLookup(const KmerTable *kt, uint32_t &code, int plen, Base next,
+           FmdInterval &ok)
+{
+    if (kt == nullptr || plen > kt->k())
+        return false;
+    code |= static_cast<uint32_t>(next) << (2 * (plen - 1));
+    const KmerTable::Entry &e = kt->lookup(code, plen);
+    ok.k = e.k;
+    ok.l = e.l;
+    ok.s = e.s;
+    ok.info = 0;
+    ++FmdIndex::threadCounters().kmer_hits;
+    return true;
+}
+
+/**
  * Compute all SMEMs covering query position x; returns the position at
  * which the next sweep should start (one past the longest match from x).
  * A port of BWA's bwt_smem1 over our FmdIndex.
  */
 int
 smem1(const FmdIndex &index, const Sequence &query, int x,
-      uint64_t min_intv, std::vector<Smem> &out)
+      uint64_t min_intv, std::vector<FmdInterval> &curr,
+      std::vector<FmdInterval> &prev, std::vector<Smem> &out)
 {
     const int len = static_cast<int>(query.size());
     if (query[x] >= kNumBases)
         return x + 1; // ambiguous base: no match covers it
 
-    std::vector<FmdInterval> curr, prev;
+    curr.clear();
+    prev.clear();
+    const KmerTable *kt = index.kmerTable();
+    uint32_t code = query[x];
     FmdInterval ik = index.init(query[x]);
     ik.info = static_cast<uint64_t>(x) + 1;
 
@@ -30,7 +58,9 @@ smem1(const FmdIndex &index, const Sequence &query, int x,
             curr.push_back(ik);
             break;
         }
-        const FmdInterval ok = index.extend(ik, query[i], false);
+        FmdInterval ok;
+        if (!kmerLookup(kt, code, i - x + 1, query[i], ok))
+            ok = index.extend(ik, query[i], false);
         if (ok.s != ik.s) {
             curr.push_back(ik);
             if (ok.s < min_intv)
@@ -46,6 +76,7 @@ smem1(const FmdIndex &index, const Sequence &query, int x,
     const int ret = static_cast<int>(curr.front().info);
     std::swap(curr, prev);
 
+    const size_t pivot_start = out.size();
     // Backward shrink: prepend characters; whenever an interval can no
     // longer grow leftwards, its longest survivor is an SMEM.
     for (i = x - 1; i >= -1; --i) {
@@ -58,7 +89,8 @@ smem1(const FmdIndex &index, const Sequence &query, int x,
             if (c >= kNumBases || ok.s < min_intv) {
                 if (curr.empty()) {
                     const int qend = static_cast<int>(p.info);
-                    if (out.empty() || i + 1 < out.back().qbeg) {
+                    if (out.size() == pivot_start ||
+                        i + 1 < out.back().qbeg) {
                         Smem smem;
                         smem.qbeg = i + 1;
                         smem.qend = qend;
@@ -79,27 +111,261 @@ smem1(const FmdIndex &index, const Sequence &query, int x,
     return ret;
 }
 
+/** Drop SMEMs below the length floor (order-preserving), then order by
+ *  query span — shared tail of the scalar and batch paths. */
+void
+finalizeSmems(std::vector<Smem> &all, int min_seed_len)
+{
+    all.erase(std::remove_if(all.begin(), all.end(),
+                             [&](const Smem &s) {
+                                 return s.length() < min_seed_len;
+                             }),
+              all.end());
+    std::sort(all.begin(), all.end(), [](const Smem &a, const Smem &b) {
+        return a.qbeg != b.qbeg ? a.qbeg < b.qbeg : a.qend < b.qend;
+    });
+}
+
+// --------------------------------------------------------------------
+// Lockstep batch driver: the same smem1 automaton, unrolled into an
+// emit/consume state machine so a whole batch of reads can advance one
+// extension round at a time through FmdIndex::extendBatch.
+
+using State = SmemWorkspace::State;
+using Phase = State::Phase;
+
+/** Forward-sweep transition on the next interval `ok`; returns true
+ *  when the forward pass is finished. */
+bool
+applyForwardStep(State &st, const FmdInterval &ok, uint64_t min_intv)
+{
+    if (ok.s != st.ik.s) {
+        st.curr.push_back(st.ik);
+        if (ok.s < min_intv)
+            return true;
+    }
+    st.ik = ok;
+    st.ik.info = static_cast<uint64_t>(st.i) + 1;
+    ++st.i;
+    return false;
+}
+
+/** Close the forward sweep and arm the backward shrink pass. */
+void
+finishForward(State &st)
+{
+    std::reverse(st.curr.begin(), st.curr.end());
+    st.ret = static_cast<int>(st.curr.front().info);
+    std::swap(st.curr, st.prev);
+    st.i = st.x - 1;
+    st.phase = Phase::Backward;
+}
+
+/**
+ * One backward round over prev: `results` points at this read's slice
+ * of the request buffer (nullptr when the prepended character was
+ * ambiguous / off the read, i.e. every extension is dead). Returns
+ * true when the pivot is exhausted.
+ */
+bool
+applyBackwardRound(State &st, const FmdExtendRequest *results,
+                   uint64_t min_intv)
+{
+    st.curr.clear();
+    for (size_t p_idx = 0; p_idx < st.prev.size(); ++p_idx) {
+        const FmdInterval &p = st.prev[p_idx];
+        FmdInterval ok;
+        if (results != nullptr)
+            ok = results[p_idx].in;
+        if (results == nullptr || ok.s < min_intv) {
+            if (st.curr.empty()) {
+                const int qend = static_cast<int>(p.info);
+                if (st.out->size() == st.pivot_start ||
+                    st.i + 1 < st.out->back().qbeg) {
+                    Smem smem;
+                    smem.qbeg = st.i + 1;
+                    smem.qend = qend;
+                    smem.interval = p;
+                    st.out->push_back(smem);
+                }
+            }
+        } else if (st.curr.empty() || ok.s != st.curr.back().s) {
+            ok.info = p.info;
+            st.curr.push_back(ok);
+        }
+    }
+    if (st.curr.empty())
+        return true;
+    std::swap(st.curr, st.prev);
+    --st.i;
+    return false;
+}
+
+/**
+ * Advance `st` until it either appends extension requests for this
+ * round (req_count > 0) or runs out of work (Phase::Done). All
+ * transitions that need no occ query — pivot management, ambiguous
+ * bases, k-mer table steps, dead backward rounds — happen here, so a
+ * round never stalls on a read that has cheap work to do.
+ */
+void
+emitRequests(const FmdIndex &index, State &st, uint64_t min_intv,
+             std::vector<FmdExtendRequest> &requests)
+{
+    const KmerTable *kt = index.kmerTable();
+    const Sequence &q = *st.query;
+    st.req_count = 0;
+    for (;;) {
+        switch (st.phase) {
+          case Phase::Done:
+            return;
+          case Phase::NextPivot: {
+            if (st.x >= st.len) {
+                st.phase = Phase::Done;
+                return;
+            }
+            if (q[st.x] >= kNumBases) {
+                ++st.x;
+                continue;
+            }
+            st.pivot_start = st.out->size();
+            st.curr.clear();
+            st.prev.clear();
+            st.code = q[st.x];
+            st.ik = index.init(q[st.x]);
+            st.ik.info = static_cast<uint64_t>(st.x) + 1;
+            st.i = st.x + 1;
+            st.phase = Phase::Forward;
+            continue;
+          }
+          case Phase::Forward: {
+            if (st.i >= st.len) {
+                st.curr.push_back(st.ik);
+                finishForward(st);
+                continue;
+            }
+            if (q[st.i] >= kNumBases) {
+                st.curr.push_back(st.ik);
+                finishForward(st);
+                continue;
+            }
+            FmdInterval ok;
+            if (kmerLookup(kt, st.code, st.i - st.x + 1, q[st.i], ok)) {
+                if (applyForwardStep(st, ok, min_intv))
+                    finishForward(st);
+                continue;
+            }
+            st.req_first = requests.size();
+            st.req_count = 1;
+            requests.push_back({st.ik, q[st.i], false});
+            return;
+          }
+          case Phase::Backward: {
+            const Base c = st.i < 0 ? kBaseN : q[st.i];
+            if (c >= kNumBases) {
+                // Every extension is dead; no occ queries needed.
+                applyBackwardRound(st, nullptr, min_intv);
+                st.x = st.ret;
+                st.phase = Phase::NextPivot;
+                continue;
+            }
+            st.req_first = requests.size();
+            st.req_count = st.prev.size();
+            for (const FmdInterval &p : st.prev)
+                requests.push_back({p, c, true});
+            return;
+          }
+        }
+    }
+}
+
+/** Fold this round's extension results back into `st`. */
+void
+consumeResults(State &st, uint64_t min_intv,
+               const std::vector<FmdExtendRequest> &requests)
+{
+    if (st.req_count == 0)
+        return;
+    if (st.phase == Phase::Forward) {
+        if (applyForwardStep(st, requests[st.req_first].in, min_intv))
+            finishForward(st);
+        return;
+    }
+    if (applyBackwardRound(st, &requests[st.req_first], min_intv)) {
+        st.x = st.ret;
+        st.phase = Phase::NextPivot;
+    }
+}
+
 } // namespace
+
+void
+collectSmemsInto(const FmdIndex &index, const Sequence &query,
+                 int min_seed_len, uint64_t min_intv, SmemWorkspace &ws,
+                 std::vector<Smem> &out)
+{
+    out.clear();
+    const int len = static_cast<int>(query.size());
+    int x = 0;
+    while (x < len)
+        x = smem1(index, query, x, min_intv, ws.curr, ws.prev, out);
+    finalizeSmems(out, min_seed_len);
+}
 
 std::vector<Smem>
 collectSmems(const FmdIndex &index, const Sequence &query, int min_seed_len,
              uint64_t min_intv)
 {
     std::vector<Smem> all;
-    const int len = static_cast<int>(query.size());
-    int x = 0;
-    while (x < len) {
-        std::vector<Smem> here;
-        x = smem1(index, query, x, min_intv, here);
-        for (const Smem &smem : here) {
-            if (smem.length() >= min_seed_len)
-                all.push_back(smem);
-        }
-    }
-    std::sort(all.begin(), all.end(), [](const Smem &a, const Smem &b) {
-        return a.qbeg != b.qbeg ? a.qbeg < b.qbeg : a.qend < b.qend;
-    });
+    SmemWorkspace ws;
+    collectSmemsInto(index, query, min_seed_len, min_intv, ws, all);
     return all;
+}
+
+void
+collectSmemsBatch(const FmdIndex &index, const Sequence *const *queries,
+                  size_t n, int min_seed_len, uint64_t min_intv,
+                  SmemWorkspace &ws, std::vector<std::vector<Smem>> &out)
+{
+    if (ws.states.size() < n)
+        ws.states.resize(n);
+    ws.active.clear();
+    for (size_t r = 0; r < n; ++r) {
+        State &st = ws.states[r];
+        st.query = queries[r];
+        st.out = &out[r];
+        st.out->clear();
+        st.len = static_cast<int>(queries[r]->size());
+        st.x = 0;
+        st.phase = Phase::NextPivot;
+        ws.active.push_back(static_cast<uint32_t>(r));
+    }
+
+    // Reads drain at different rates (repeat-heavy reads take more
+    // rounds), so finished states are compacted out of the active list
+    // rather than re-scanned every round until the batch drains.
+    while (!ws.active.empty()) {
+        ws.requests.clear();
+        size_t kept = 0;
+        for (const uint32_t r : ws.active) {
+            State &st = ws.states[r];
+            emitRequests(index, st, min_intv, ws.requests);
+            if (st.phase != Phase::Done)
+                ws.active[kept++] = r;
+        }
+        ws.active.resize(kept);
+        if (ws.requests.empty())
+            continue;
+        index.extendBatch(ws.requests.data(), ws.requests.size());
+        for (const uint32_t r : ws.active)
+            consumeResults(ws.states[r], min_intv, ws.requests);
+    }
+
+    for (size_t r = 0; r < n; ++r) {
+        finalizeSmems(out[r], min_seed_len);
+        ws.states[r].query = nullptr;
+        ws.states[r].out = nullptr;
+    }
 }
 
 } // namespace seedex

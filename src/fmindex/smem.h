@@ -1,6 +1,7 @@
 #ifndef SEEDEX_FMINDEX_SMEM_H
 #define SEEDEX_FMINDEX_SMEM_H
 
+#include <cstdint>
 #include <vector>
 
 #include "fmindex/fmd_index.h"
@@ -17,13 +18,53 @@ struct Smem
     FmdInterval interval;
 
     int length() const { return qend - qbeg; }
+    bool operator==(const Smem &) const = default;
+};
+
+/**
+ * Reusable scratch for SMEM generation. One instance per thread (the
+ * seeding layer owns a thread-local one); buffers grow to the workload
+ * high-water mark and are reused, so steady-state SMEM generation
+ * performs zero heap allocations. The members are an implementation
+ * detail of smem.cc.
+ */
+struct SmemWorkspace
+{
+    /** One read's in-flight search in the lockstep batch driver. */
+    struct State
+    {
+        enum class Phase : uint8_t { NextPivot, Forward, Backward, Done };
+
+        const Sequence *query = nullptr;
+        std::vector<Smem> *out = nullptr;
+        int len = 0;
+        int x = 0;   ///< current pivot
+        int i = 0;   ///< forward/backward loop position
+        int ret = 0; ///< next pivot once this one finishes
+        uint32_t code = 0; ///< packed k-mer prefix of the forward sweep
+        size_t pivot_start = 0; ///< out->size() when the pivot began
+        size_t req_first = 0;   ///< this round's slice of the request buffer
+        size_t req_count = 0;
+        Phase phase = Phase::Done;
+        FmdInterval ik;
+        std::vector<FmdInterval> curr, prev;
+    };
+
+    std::vector<State> states;
+    std::vector<FmdExtendRequest> requests;
+    /** Indices of states still in flight; compacted as reads finish. */
+    std::vector<uint32_t> active;
+    /** Scalar-path interval stacks (collectSmemsInto). */
+    std::vector<FmdInterval> curr, prev;
 };
 
 /**
  * SMEM generation, the seeding algorithm of BWA-MEM (and the workload ERT
  * accelerates): for each query position, find all supermaximal exact
  * matches covering it via forward extension followed by a backward
- * shrink pass (Li 2012 / bwt_smem1).
+ * shrink pass (Li 2012 / bwt_smem1). When the index carries a k-mer
+ * interval table, the first k forward steps of every sweep are table
+ * lookups instead of occ queries.
  *
  * @param min_seed_len Discard SMEMs shorter than this (BWA default 19).
  * @param min_intv Minimum interval size to keep extending (default 1).
@@ -31,6 +72,26 @@ struct Smem
 std::vector<Smem> collectSmems(const FmdIndex &index, const Sequence &query,
                                int min_seed_len = 19,
                                uint64_t min_intv = 1);
+
+/** collectSmems into a caller-owned vector with reusable scratch (the
+ *  zero-allocation form; `out` is cleared first). */
+void collectSmemsInto(const FmdIndex &index, const Sequence &query,
+                      int min_seed_len, uint64_t min_intv,
+                      SmemWorkspace &ws, std::vector<Smem> &out);
+
+/**
+ * Lockstep SMEM generation for a batch of reads: all reads' searches
+ * advance one extension round at a time through FmdIndex::extendBatch,
+ * which prefetches every read's next BWT block before computing any of
+ * them — the memory-level-parallelism driver of the seeding stage.
+ * `out` must have n entries; each is cleared and filled with exactly
+ * the SMEMs collectSmems would produce for that read.
+ */
+void collectSmemsBatch(const FmdIndex &index,
+                       const Sequence *const *queries, size_t n,
+                       int min_seed_len, uint64_t min_intv,
+                       SmemWorkspace &ws,
+                       std::vector<std::vector<Smem>> &out);
 
 } // namespace seedex
 

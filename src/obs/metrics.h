@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -126,6 +127,29 @@ class LatencyHistogram
     std::atomic<uint64_t> sum_ns_{0};
     std::atomic<uint64_t> min_ns_{UINT64_MAX};
     std::atomic<uint64_t> max_ns_{0};
+};
+
+/** Records the lifetime of a scope into a LatencyHistogram (steady
+ *  clock; the observe happens in the destructor). */
+class ScopedLatency
+{
+  public:
+    explicit ScopedLatency(LatencyHistogram &h)
+        : h_(h), start_(std::chrono::steady_clock::now())
+    {}
+
+    ScopedLatency(const ScopedLatency &) = delete;
+    ScopedLatency &operator=(const ScopedLatency &) = delete;
+
+    ~ScopedLatency()
+    {
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        h_.observe(std::chrono::duration<double>(elapsed).count());
+    }
+
+  private:
+    LatencyHistogram &h_;
+    std::chrono::steady_clock::time_point start_;
 };
 
 /** Point-in-time copy of every registered instrument. */

@@ -2,7 +2,8 @@
 # Smoke check for the observability exports: runs the Fig. 17 bench with
 # --metrics-out (and a trace), then validates the run-report JSON schema;
 # then runs the kernel bench and validates the align.kernel.* instruments
-# and the BENCH_kernel.json sweep document.
+# and the BENCH_kernel.json sweep document; then runs the seeding bench
+# and validates the seed.* instruments and the BENCH_seed.json sweep.
 #
 # Usage: tools/check_metrics.sh [BUILD_DIR]     (default: build)
 set -euo pipefail
@@ -10,21 +11,22 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 BENCH="$BUILD_DIR/bench/bench_fig17_end_to_end"
 KERNEL_BENCH="$BUILD_DIR/bench/bench_kernel"
+SEED_BENCH="$BUILD_DIR/bench/bench_seed"
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 METRICS="$OUT_DIR/metrics.json"
 TRACE="$OUT_DIR/trace.json"
 KERNEL_METRICS="$OUT_DIR/kernel_metrics.json"
 KERNEL_SWEEP="$OUT_DIR/BENCH_kernel.json"
+SEED_METRICS="$OUT_DIR/seed_metrics.json"
+SEED_SWEEP="$OUT_DIR/BENCH_seed.json"
 
-if [[ ! -x "$BENCH" ]]; then
-    echo "check_metrics: $BENCH not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
-    exit 1
-fi
-if [[ ! -x "$KERNEL_BENCH" ]]; then
-    echo "check_metrics: $KERNEL_BENCH not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
-    exit 1
-fi
+for bin in "$BENCH" "$KERNEL_BENCH" "$SEED_BENCH"; do
+    if [[ ! -x "$bin" ]]; then
+        echo "check_metrics: $bin not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+        exit 1
+    fi
+done
 
 echo "== running $BENCH --quick --metrics-out=$METRICS"
 "$BENCH" --quick "--metrics-out=$METRICS" "--trace-out=$TRACE" > /dev/null
@@ -142,6 +144,63 @@ print(f"ok: kernel dispatch={kernel['dispatch']} "
       f"dispatches={dispatch_total} "
       f"cells={counters['align.kernel.cells']} "
       f"sweep={len(sweep['extension'])} extension cells")
+EOF
+
+echo "== running $SEED_BENCH --quick --metrics-out=$SEED_METRICS"
+"$SEED_BENCH" --quick "--out=$SEED_SWEEP" \
+    "--metrics-out=$SEED_METRICS" > /dev/null
+
+[[ -s "$SEED_METRICS" ]] || { echo "FAIL: seed metrics missing/empty" >&2; exit 1; }
+[[ -s "$SEED_SWEEP" ]] || { echo "FAIL: seed sweep missing/empty" >&2; exit 1; }
+
+echo "== seeding instrument checks (python json)"
+python3 - "$SEED_METRICS" "$SEED_SWEEP" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["schema"] == "seedex.run_report/v1", report["schema"]
+assert report["bench"] == "bench_seed"
+
+counters = report["metrics"]["counters"]
+# Every config issues occ queries; the k-mer configs answer the first k
+# forward steps from the table instead.
+assert counters.get("seed.occ_calls", 0) > 0, "seed.occ_calls never moved"
+assert counters.get("seed.kmer_hits", 0) > 0, "seed.kmer_hits never moved"
+
+gauges = report["metrics"]["gauges"]
+# Largest batch size set by the batched configs (>= 1 even on --quick).
+assert gauges["seed.batch_size"]["max"] >= 1, gauges
+
+hists = report["metrics"]["histograms"]
+hist = hists["seed.batch.seconds"]
+assert hist["count"] > 0
+assert 0 < hist["p50"] <= hist["p90"] <= hist["p99"]
+
+with open(sys.argv[2]) as f:
+    sweep = json.load(f)
+assert sweep["bench"] == "bench_seed"
+cells = sweep["cells"]
+assert cells, "empty seeding sweep"
+for cell in cells:
+    assert cell["genome_bp"] > 0
+    assert cell["reads"] > 0
+    assert cell["reads_per_s"] > 0
+    assert cell["batch"] >= 1
+    assert cell["occ_calls_per_read"] > 0
+    assert cell["speedup_vs_naive"] > 0
+names = {c["config"] for c in cells}
+# The sweep always carries the oracle baseline and the headline config.
+assert "naive/scalar" in names, names
+assert "packed+kmer/batch" in names, names
+assert sweep["headline_speedup"] > 0
+
+print(f"ok: seed.occ_calls={counters['seed.occ_calls']} "
+      f"seed.kmer_hits={counters['seed.kmer_hits']} "
+      f"batch latency p50={hist['p50']:.2e}s; "
+      f"{len(cells)} sweep cells, "
+      f"headline={sweep['headline_speedup']:.2f}x")
 EOF
 
 echo "check_metrics: PASS"
