@@ -12,6 +12,8 @@
 #include "aligner/threaded.h"
 #include "genome/read_sim.h"
 #include "genome/reference.h"
+#include "obs/ledger.h"
+#include "obs/perfcounters.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -125,6 +127,44 @@ maybeWriteTrace(const std::string &path)
         std::cerr << "[obs] FAILED to write trace to " << path << "\n";
 }
 
+/**
+ * Destination of the per-read provenance ledger (`--ledger-out=FILE` or
+ * SEEDEX_LEDGER_OUT); empty means the ledger stays off. Call before the
+ * timed region: it enables the global ledger as a side effect, sampling
+ * every SEEDEX_LEDGER_SAMPLE-th read (default 1 = all).
+ */
+inline std::string
+ledgerOutPath(int argc, char **argv)
+{
+    const std::string path =
+        flagValue(argc, argv, "--ledger-out", "SEEDEX_LEDGER_OUT");
+    if (!path.empty()) {
+        uint32_t sample = 1;
+        const std::string s =
+            flagValue(argc, argv, "--ledger-sample", "SEEDEX_LEDGER_SAMPLE");
+        if (!s.empty())
+            sample = static_cast<uint32_t>(
+                std::max(1L, std::strtol(s.c_str(), nullptr, 10)));
+        obs::Ledger::global().clear();
+        obs::Ledger::global().enable(sample);
+    }
+    return path;
+}
+
+/** Write the ledger JSONL to `path` (no-op when empty). Call only after
+ *  all worker threads have been joined. */
+inline void
+maybeWriteLedger(const std::string &path)
+{
+    if (path.empty())
+        return;
+    if (obs::Ledger::global().writeJsonl(path))
+        std::cout << "[obs] ledger written to " << path << " ("
+                  << obs::Ledger::global().recordCount() << " records)\n";
+    else
+        std::cerr << "[obs] FAILED to write ledger to " << path << "\n";
+}
+
 inline void
 appendStageTimes(obs::JsonWriter &w, const StageTimes &t)
 {
@@ -173,6 +213,60 @@ appendThreadedReport(obs::JsonWriter &w, const ThreadedReport &r)
     w.kv("device_cycles", r.device_cycles);
 }
 
+inline void
+appendLedgerSummary(obs::JsonWriter &w, const obs::LedgerSummary &s)
+{
+    w.kv("records", s.records);
+    w.kv("sample_every", static_cast<uint64_t>(s.sample_every));
+    w.kv("mapped", s.mapped);
+    w.kv("extensions", s.extensions);
+    w.kv("kernel_calls", s.kernel_calls);
+    w.key("verdicts").beginObject();
+    for (int v = 0; v < obs::kLedgerVerdicts; ++v)
+        w.kv(obs::ledgerVerdictName(
+                 static_cast<obs::LedgerVerdict>(v)),
+             s.verdicts[static_cast<size_t>(v)]);
+    w.endObject();
+    w.kv("verdict_total", s.verdictTotal());
+    w.kv("edit_machine_runs", s.edit_machine_runs);
+    w.kv("reruns", s.reruns);
+    w.kv("fallback_rate", s.fallbackRate());
+    w.kv("global_fills", s.global_fills);
+    w.kv("global_reruns", s.global_reruns);
+    w.key("band_used").beginArray();
+    for (const obs::LedgerBandBucket &b : s.band_used) {
+        w.beginObject();
+        if (b.le < 0)
+            w.kv("le", std::string("inf"));
+        else
+            w.kv("le", static_cast<int64_t>(b.le));
+        w.kv("count", b.count);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+inline void
+appendPerfProfile(obs::JsonWriter &w)
+{
+    w.kv("available", obs::PerfRegistry::global().anyAvailable());
+    w.key("stages").beginObject();
+    for (const obs::StageProfileSummary &s :
+         obs::PerfRegistry::global().snapshot()) {
+        w.key(s.name).beginObject();
+        w.kv("scopes", s.scopes);
+        w.kv("cycles", s.cycles);
+        w.kv("instructions", s.instructions);
+        w.kv("branch_misses", s.branch_misses);
+        w.kv("llc_misses", s.llc_misses);
+        w.kv("ipc", s.ipc());
+        w.kv("branch_misses_per_kinstr", s.branchMissesPerKiloInstr());
+        w.kv("llc_misses_per_kinstr", s.llcMissesPerKiloInstr());
+        w.endObject();
+    }
+    w.endObject();
+}
+
 /**
  * The bench layer of the run-report exporter: folds whichever of the
  * ad-hoc stat structs the bench produced (pass nullptr for the rest)
@@ -201,6 +295,18 @@ writeRunReport(const std::string &path, const std::string &bench,
         report.section("filter", [&](obs::JsonWriter &w) {
             appendFilterStats(w, *filter);
         });
+    // Provenance-ledger rollup (only when a ledger was enabled for the
+    // run) and the hardware-counter profile. Both are cheap snapshots;
+    // call only after worker threads have been joined.
+    if (obs::Ledger::global().enabled()) {
+        const obs::LedgerSummary ledger = obs::Ledger::global().summary();
+        report.section("ledger", [&](obs::JsonWriter &w) {
+            appendLedgerSummary(w, ledger);
+        });
+    }
+    report.section("profile", [&](obs::JsonWriter &w) {
+        appendPerfProfile(w);
+    });
     // Which vector tier the extension kernel resolved to for this process,
     // plus the workspace high-water marks -- every run report carries
     // these so perf numbers are attributable to an ISA.
@@ -221,6 +327,19 @@ writeRunReport(const std::string &path, const std::string &bench,
     else
         std::cerr << "[obs] FAILED to write run report to " << path
                   << "\n";
+}
+
+/** Schema identifier stamped into every bench sweep document (the
+ *  `--json=FILE` grids bench_compare.py diffs against baselines). */
+inline constexpr const char *kBenchSweepSchema = "seedex.bench_sweep/v1";
+
+/** Stamp the standard sweep-document header: schema + bench name. Call
+ *  right after beginObject() on the root. */
+inline void
+beginSweepDoc(obs::JsonWriter &w, const std::string &bench)
+{
+    w.kv("schema", std::string(kBenchSweepSchema));
+    w.kv("bench", bench);
 }
 
 } // namespace seedex::bench

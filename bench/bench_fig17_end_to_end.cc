@@ -58,6 +58,10 @@ main(int argc, char **argv)
         base_stats.times.other, jobs.size());
 
     // ---- Software-only SeedEx (w=5 + reruns), the SS VII-B data point.
+    // The provenance ledger covers exactly this run (enabled here, after
+    // the baseline pass), so its verdict tallies match the report's
+    // `pipeline.filter` section read-for-read at sample 1.
+    const std::string ledger_out = ledgerOutPath(argc, argv);
     PipelineConfig sw_sx;
     sw_sx.engine = EngineKind::SeedEx;
     sw_sx.band = 5;
@@ -128,5 +132,6 @@ main(int argc, char **argv)
     writeRunReport(metrics_out, "bench_fig17_end_to_end", &sw_stats,
                    nullptr, &batch.stats);
     maybeWriteTrace(trace_out);
+    maybeWriteLedger(ledger_out);
     return 0;
 }

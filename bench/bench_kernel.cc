@@ -185,7 +185,7 @@ main(int argc, char **argv)
                      "speedup"});
     obs::JsonWriter json;
     json.beginObject();
-    json.kv("bench", std::string("bench_kernel"));
+    beginSweepDoc(json, "bench_kernel");
     json.kv("dispatch", std::string(kernelIsaName(kernelDispatch())));
     json.key("extension").beginArray();
 

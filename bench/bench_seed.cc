@@ -163,7 +163,7 @@ main(int argc, char **argv)
                      "Mbases/s", "occ/read", "speedup"});
     obs::JsonWriter json;
     json.beginObject();
-    json.kv("bench", std::string("bench_seed"));
+    beginSweepDoc(json, "bench_seed");
     json.key("cells").beginArray();
 
     double headline_speedup = 0;

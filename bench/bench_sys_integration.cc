@@ -21,6 +21,7 @@ main(int argc, char **argv)
     const bool quick = quickMode(argc, argv);
     const std::string metrics_out = metricsOutPath(argc, argv);
     const std::string trace_out = traceOutPath(argc, argv);
+    const std::string ledger_out = ledgerOutPath(argc, argv);
     banner("System integration (SS V, Fig. 12)",
            "producer-consumer pipeline; prefetching hides memory");
 
@@ -49,6 +50,11 @@ main(int argc, char **argv)
         cfg.fpga_threads = f;
         cfg.batch_size = 32;
         ThreadedReport report;
+        // Each sweep point replays the same reads; keep only the last
+        // configuration's records so the exported JSONL covers exactly
+        // one threaded pass over the read set.
+        if (obs::Ledger::global().enabled())
+            obs::Ledger::global().clear();
         alignThreaded(ref, reads, cfg, &report);
         last_report = report;
         threads.addRow(
@@ -66,7 +72,12 @@ main(int argc, char **argv)
                  "only need to keep batches in flight (SS VII-B: >= 88% "
                  "of threads go to seeding)\n\n";
 
-    // ---- (b) batch format + bandwidth accounting.
+    // ---- (b) batch format + bandwidth accounting. Suspend the ledger:
+    // these reads replay part (a)'s and would collide with its records.
+    const uint32_t ledger_sample = obs::Ledger::global().sampleEvery();
+    const bool ledger_was_on = obs::Ledger::global().enabled();
+    if (ledger_was_on)
+        obs::Ledger::global().disable();
     PipelineConfig pc;
     Aligner aligner(ref, pc);
     std::vector<ExtensionJob> jobs;
@@ -96,8 +107,11 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(bw.compute_cycles),
         bw.memoryHidden() ? "hidden" : "EXPOSED");
 
+    if (ledger_was_on)
+        obs::Ledger::global().enable(ledger_sample);
     writeRunReport(metrics_out, "bench_sys_integration", nullptr,
                    &last_report);
     maybeWriteTrace(trace_out);
+    maybeWriteLedger(ledger_out);
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "align/kernel.h"
+#include "obs/ledger.h"
 
 namespace seedex {
 
@@ -13,7 +14,15 @@ kswExtend(const Sequence &query, const Sequence &target, int h0,
     // The scalar reference implementation lives in kern::extendScalar
     // (src/align/kernel.cc); this forwards to the dispatched (possibly
     // vectorized) engine, which is bit-exact with it.
-    return bandedExtend(query, target, h0, config);
+    const ExtendResult result = bandedExtend(query, target, h0, config);
+    // Provenance ledger: every kernel invocation (narrow speculation and
+    // full-band rerun alike) contributes to the read's band-usage
+    // telemetry when a read scope is open on this thread.
+    if (obs::ReadRecord *rec = obs::Ledger::active()) {
+        ++rec->kernel_calls;
+        rec->band_used = std::max(rec->band_used, result.max_off);
+    }
+    return result;
 }
 
 int

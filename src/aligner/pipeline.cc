@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "align/kernel.h"
+#include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/perfcounters.h"
 #include "obs/trace.h"
 
 namespace seedex {
@@ -34,6 +37,25 @@ alignerMetrics()
 {
     static AlignerMetrics metrics;
     return metrics;
+}
+
+/** Hardware-counter profiles for the alignRead stage boundaries (same
+ *  names as the TraceSpans so timeline and IPC line up). */
+struct AlignerProfiles
+{
+    obs::StageProfile &seeding =
+        obs::PerfRegistry::global().stage("aligner.seeding");
+    obs::StageProfile &extension =
+        obs::PerfRegistry::global().stage("aligner.extension");
+    obs::StageProfile &postprocess =
+        obs::PerfRegistry::global().stage("aligner.postprocess");
+};
+
+AlignerProfiles &
+alignerProfiles()
+{
+    static AlignerProfiles profiles;
+    return profiles;
 }
 
 /** Engine decorator that captures every extension job for the device
@@ -113,17 +135,30 @@ Aligner::alignSeeded(const std::string &name, const Sequence &read,
     Stopwatch seeding_watch, extension_watch, other_watch;
     uint64_t read_extensions = 0;
 
+    // Provenance ledger: one record per read when enabled; lower layers
+    // (filter funnel, extend kernel) attribute onto it via the open
+    // thread-local scope.
+    obs::ReadScope ledger_scope(name);
+    if (obs::ReadRecord *rec = ledger_scope.record()) {
+        rec->seeds = static_cast<uint32_t>(seeds.size());
+        rec->band =
+            config_.engine == EngineKind::FullBand ? -1 : config_.band;
+        rec->kernel = kernelIsaName(kernelDispatch());
+    }
+
     // --- Chaining (charged to the "seeding" bar of Fig. 17 together
     //     with the SMEM/locate time handed in by the caller).
     std::vector<Chain> chains;
     {
         obs::TraceSpan span("aligner.seeding", "aligner");
+        obs::PerfScope perf(alignerProfiles().seeding);
         seeding_watch.start();
         chains = chainSeeds(seeds, config_.chaining);
         seeding_watch.stop();
     }
 
     SamRecord rec;
+    int chain_chosen = -1;
     if (chains.empty()) {
         other_watch.start();
         rec = unmappedRecord(name, read);
@@ -131,6 +166,7 @@ Aligner::alignSeeded(const std::string &name, const Sequence &read,
     } else {
         // --- Seed extension through the configured engine.
         obs::TraceSpan span("aligner.extension", "aligner");
+        obs::PerfScope perf(alignerProfiles().extension);
         extension_watch.start();
         CapturingEngine engine(*engine_, capture);
         const Sequence rc = read.reverseComplement();
@@ -147,6 +183,7 @@ Aligner::alignSeeded(const std::string &name, const Sequence &read,
 
         // --- Pick best + runner-up, traceback, SAM.
         obs::TraceSpan other_span("aligner.postprocess", "aligner");
+        obs::PerfScope other_perf(alignerProfiles().postprocess);
         other_watch.start();
         size_t best = 0;
         int sub = 0;
@@ -160,10 +197,19 @@ Aligner::alignSeeded(const std::string &name, const Sequence &read,
         }
         rec = buildSamRecord(name, read, results[best], sub, ref_,
                              config_.extension.scoring);
+        chain_chosen = static_cast<int>(best);
         other_watch.stop();
 
         if (stats)
             stats->extensions += read_extensions;
+    }
+
+    if (obs::ReadRecord *ledger_rec = ledger_scope.record()) {
+        ledger_rec->chains = static_cast<uint32_t>(chains.size());
+        ledger_rec->chain_chosen = chain_chosen;
+        ledger_rec->extensions = static_cast<uint32_t>(read_extensions);
+        ledger_rec->score = rec.score;
+        ledger_rec->mapped = rec.mapped();
     }
 
     const double seeding_seconds = seed_seconds + seeding_watch.seconds();

@@ -6,9 +6,12 @@
 #include <mutex>
 #include <thread>
 
+#include "align/kernel.h"
 #include "align/workspace.h"
+#include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/perfcounters.h"
 #include "obs/trace.h"
 #include "util/stopwatch.h"
 
@@ -42,6 +45,23 @@ threadedMetrics()
     return metrics;
 }
 
+/** Hardware-counter profiles for the producer-consumer stages (same
+ *  names as the TraceSpans). */
+struct ThreadedProfiles
+{
+    obs::StageProfile &seed_chunk =
+        obs::PerfRegistry::global().stage("threaded.seed_chunk");
+    obs::StageProfile &fpga_batch =
+        obs::PerfRegistry::global().stage("threaded.fpga_batch");
+};
+
+ThreadedProfiles &
+threadedProfiles()
+{
+    static ThreadedProfiles profiles;
+    return profiles;
+}
+
 /** One seeded read queued for the FPGA threads. */
 struct SeededRead
 {
@@ -50,6 +70,8 @@ struct SeededRead
     const Sequence *read = nullptr;
     Sequence reverse_complement;
     std::vector<Chain> chains;
+    /** Seeds collected by the producer (provenance ledger). */
+    uint32_t n_seeds = 0;
 };
 
 /** Bounded MPMC queue (the producer-consumer hand-off of Fig. 12). */
@@ -176,6 +198,7 @@ alignThreaded(const Sequence &reference,
                 return;
             const size_t n = std::min(seed_chunk, reads.size() - base);
             obs::TraceSpan span("threaded.seed_chunk", "threaded");
+            obs::PerfScope perf(threadedProfiles().seed_chunk);
             for (size_t r = 0; r < n; ++r)
                 queries[r] = &reads[base + r].second;
             collectSeedsBatch(index, queries.data(), n,
@@ -185,6 +208,7 @@ alignThreaded(const Sequence &reference,
                 item.read_idx = base + r;
                 item.name = &reads[base + r].first;
                 item.read = &reads[base + r].second;
+                item.n_seeds = static_cast<uint32_t>(seeds[r].size());
                 item.chains =
                     chainSeeds(seeds[r], config.pipeline.chaining);
                 bool any_reverse = false;
@@ -208,23 +232,54 @@ alignThreaded(const Sequence &reference,
             if (!queue.popBatch(config.batch_size, batch))
                 return;
             obs::TraceSpan batch_span("threaded.fpga_batch", "threaded");
+            obs::PerfScope batch_perf(threadedProfiles().fpga_batch);
             Stopwatch batch_watch;
             batch_watch.start();
             ++batches;
+
+            // Provenance ledger: a read's journey spans producer and
+            // consumer threads, so records are assembled here per batch
+            // (keyed by batch item) and published whole — never through
+            // the thread-local scope the single-threaded pipeline uses.
+            obs::Ledger &ledger = obs::Ledger::global();
+            const bool ledger_on = ledger.enabled();
+            std::vector<obs::ReadRecord> ledger_recs;
+            std::vector<int> rec_of_item;
+            if (ledger_on) {
+                rec_of_item.assign(batch.size(), -1);
+                for (size_t i = 0; i < batch.size(); ++i) {
+                    if (!ledger.shouldRecord(batch[i].read_idx))
+                        continue;
+                    obs::ReadRecord rec;
+                    rec.read_index = batch[i].read_idx;
+                    rec.name = *batch[i].name;
+                    rec.seeds = batch[i].n_seeds;
+                    rec.chains =
+                        static_cast<uint32_t>(batch[i].chains.size());
+                    rec.band = config.pipeline.band;
+                    rec.kernel = kernelIsaName(kernelDispatch());
+                    rec_of_item[i] =
+                        static_cast<int>(ledger_recs.size());
+                    ledger_recs.push_back(std::move(rec));
+                }
+            }
 
             // Chain table for the whole batch.
             struct Slot
             {
                 const SeededRead *item;
+                size_t item_idx;
                 const Chain *chain;
                 ChainAlignment aln;
                 int score;
             };
             std::vector<Slot> slots;
-            for (const SeededRead &item : batch) {
+            for (size_t i = 0; i < batch.size(); ++i) {
+                const SeededRead &item = batch[i];
                 for (const Chain &chain : item.chains) {
                     Slot slot;
                     slot.item = &item;
+                    slot.item_idx = i;
                     slot.chain = &chain;
                     const Seed &anchor = chain.anchor();
                     slot.aln.reverse = chain.reverse;
@@ -242,6 +297,30 @@ alignThreaded(const Sequence &reference,
                 return slot.chain->reverse
                     ? slot.item->reverse_complement
                     : *slot.item->read;
+            };
+
+            // Fold one device job's outcome into its read's ledger
+            // record (the per-job vectors in BatchResult are parallel
+            // to the pending list handed to run_batch).
+            auto attribute = [&](const BatchResult &res, size_t k,
+                                 const Slot &slot) {
+                if (!ledger_on)
+                    return;
+                const int ri = rec_of_item[slot.item_idx];
+                if (ri < 0)
+                    return;
+                obs::ReadRecord &rec =
+                    ledger_recs[static_cast<size_t>(ri)];
+                ++rec.extensions;
+                ++rec.kernel_calls; // narrow speculation
+                rec.addVerdict(ledgerVerdict(res.verdicts[k]),
+                               res.edit_runs[k]);
+                if (res.rerun[k]) {
+                    ++rec.reruns;
+                    ++rec.kernel_calls; // host full-band rerun
+                }
+                rec.band_used =
+                    std::max(rec.band_used, res.results[k].max_off);
             };
 
             // Phase 1: package all left extensions.
@@ -281,6 +360,7 @@ alignThreaded(const Sequence &reference,
                 // Parse left results: clip decision + h0 update (§V-B).
                 for (size_t k = 0; k < pending.size(); ++k) {
                     Slot &slot = slots[pending[k].batch_slot];
+                    attribute(left, k, slot);
                     const ExtendResult &r = left.results[k];
                     const Seed &anchor = slot.chain->anchor();
                     slot.aln.max_off =
@@ -329,6 +409,7 @@ alignThreaded(const Sequence &reference,
                 const BatchResult right = run_batch(pending);
                 for (size_t k = 0; k < pending.size(); ++k) {
                     Slot &slot = slots[pending[k].batch_slot];
+                    attribute(right, k, slot);
                     const ExtendResult &r = right.results[k];
                     const Seed &anchor = slot.chain->anchor();
                     const int n =
@@ -353,7 +434,13 @@ alignThreaded(const Sequence &reference,
             // Post-processing: best chain per read, traceback, SAM.
             obs::TraceSpan post_span("threaded.postprocess", "threaded");
             size_t s = 0;
-            for (const SeededRead &item : batch) {
+            for (size_t i = 0; i < batch.size(); ++i) {
+                const SeededRead &item = batch[i];
+                obs::ReadRecord *rec =
+                    ledger_on && rec_of_item[i] >= 0
+                        ? &ledger_recs[static_cast<size_t>(
+                              rec_of_item[i])]
+                        : nullptr;
                 if (item.chains.empty()) {
                     records[item.read_idx] =
                         unmappedRecord(*item.name, *item.read);
@@ -374,7 +461,16 @@ alignThreaded(const Sequence &reference,
                     buildSamRecord(*item.name, *item.read,
                                    slots[best].aln, sub, reference,
                                    xp.scoring);
+                if (rec != nullptr) {
+                    rec->chain_chosen = static_cast<int>(best - s);
+                    rec->score = records[item.read_idx].score;
+                    rec->mapped = records[item.read_idx].mapped();
+                }
                 s += item.chains.size();
+            }
+            if (ledger_on) {
+                for (obs::ReadRecord &rec : ledger_recs)
+                    ledger.publish(std::move(rec));
             }
 
             batch_watch.stop();

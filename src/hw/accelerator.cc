@@ -76,6 +76,8 @@ SeedExAccelerator::processBatch(const std::vector<ExtensionJob> &jobs) const
             outcome = filter_.run(job.query, job.target, job.h0);
         }
         batch.stats.add(outcome);
+        batch.verdicts.push_back(outcome.verdict);
+        batch.edit_runs.push_back(outcome.ran_edit_machine);
 
         // Timing + exception path: the systolic model of the same core.
         BswCoreStats stats;

@@ -40,6 +40,11 @@ struct BatchResult
     std::vector<ExtendResult> results;
     /** Which jobs were rerun on the host and why. */
     std::vector<bool> rerun;
+    /** Per-job filter verdicts and edit-machine usage, parallel to
+     *  `results` (provenance-ledger attribution: batches mix reads, so
+     *  the caller maps job -> read). */
+    std::vector<Verdict> verdicts;
+    std::vector<bool> edit_runs;
     uint64_t reruns_checks = 0;     ///< optimality checks failed
     uint64_t reruns_exception = 0;  ///< speculative early-term exception
     /** Modeled device occupancy: cycles of the busiest BSW core. */

@@ -99,7 +99,13 @@ JsonWriter::value(double d)
         out_ += "null"; // JSON has no Inf/NaN
         return *this;
     }
-    out_ += strprintf("%.9g", d);
+    // %.17g is guaranteed round-trippable for IEEE-754 doubles; prefer
+    // the shorter %.15g when it already parses back exactly (most
+    // human-scale values) so reports stay readable.
+    std::string text = strprintf("%.15g", d);
+    if (std::strtod(text.c_str(), nullptr) != d)
+        text = strprintf("%.17g", d);
+    out_ += text;
     return *this;
 }
 

@@ -1,0 +1,228 @@
+#include "obs/perfcounters.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SEEDEX_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace seedex::obs {
+
+namespace {
+
+std::atomic<int> g_enabled_override{-1}; ///< -1 = follow SEEDEX_PERF
+
+bool
+envEnabled()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("SEEDEX_PERF");
+        if (v == nullptr)
+            return true;
+        return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0 &&
+               std::strcmp(v, "false") != 0;
+    }();
+    return enabled;
+}
+
+#ifdef SEEDEX_HAVE_PERF
+
+int
+perfEventOpen(uint32_t type, uint64_t config, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    return static_cast<int>(syscall(__NR_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+
+#endif // SEEDEX_HAVE_PERF
+
+} // namespace
+
+bool
+perfEnabled()
+{
+    const int override = g_enabled_override.load(std::memory_order_relaxed);
+    if (override >= 0)
+        return override != 0;
+    return envEnabled();
+}
+
+void
+perfOverrideEnabled(bool on)
+{
+    g_enabled_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+PerfThreadCounters::PerfThreadCounters()
+{
+#ifdef SEEDEX_HAVE_PERF
+    // The group leader (cycles) must open; the other events are folded
+    // in opportunistically — a VM without an LLC event still profiles
+    // IPC. Events are counted from creation; scopes only ever look at
+    // deltas, so no enable/reset ioctl is needed.
+    group_fd_ = perfEventOpen(PERF_TYPE_HARDWARE,
+                              PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (group_fd_ < 0)
+        return;
+    fields_.push_back(&PerfReading::cycles);
+
+    struct Member
+    {
+        uint32_t type;
+        uint64_t config;
+        uint64_t PerfReading::*field;
+    };
+    const Member members[] = {
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+         &PerfReading::instructions},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES,
+         &PerfReading::branch_misses},
+        {PERF_TYPE_HW_CACHE,
+         PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+             (PERF_COUNT_HW_CACHE_RESULT_MISS << 16),
+         &PerfReading::llc_misses},
+    };
+    for (const Member &m : members) {
+        const int fd = perfEventOpen(m.type, m.config, group_fd_);
+        if (fd >= 0)
+            fields_.push_back(m.field);
+        // Group members are read and closed through the leader; the
+        // descriptor itself is only needed to keep the event alive.
+        if (fd >= 0)
+            member_fds_.push_back(fd);
+    }
+    available_ = true;
+    PerfRegistry::global().markAvailable();
+#endif
+}
+
+PerfThreadCounters::~PerfThreadCounters()
+{
+#ifdef SEEDEX_HAVE_PERF
+    for (const int fd : member_fds_)
+        ::close(fd);
+    if (group_fd_ >= 0)
+        ::close(group_fd_);
+#endif
+}
+
+PerfThreadCounters &
+PerfThreadCounters::tls()
+{
+    thread_local PerfThreadCounters counters;
+    return counters;
+}
+
+PerfReading
+PerfThreadCounters::read() const
+{
+    PerfReading r;
+#ifdef SEEDEX_HAVE_PERF
+    if (!available_)
+        return r;
+    // PERF_FORMAT_GROUP layout: u64 nr; u64 values[nr]; in open order.
+    uint64_t buf[1 + 8] = {};
+    const ssize_t got = ::read(group_fd_, buf, sizeof(buf));
+    if (got < static_cast<ssize_t>(sizeof(uint64_t)))
+        return r;
+    const uint64_t nr = buf[0];
+    if (nr < fields_.size())
+        return r;
+    for (size_t i = 0; i < fields_.size(); ++i)
+        r.*fields_[i] = buf[1 + i];
+    r.valid = true;
+#endif
+    return r;
+}
+
+double
+StageProfileSummary::ipc() const
+{
+    return cycles == 0
+        ? 0.0
+        : static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+double
+StageProfileSummary::branchMissesPerKiloInstr() const
+{
+    return instructions == 0
+        ? 0.0
+        : 1e3 * static_cast<double>(branch_misses) /
+              static_cast<double>(instructions);
+}
+
+double
+StageProfileSummary::llcMissesPerKiloInstr() const
+{
+    return instructions == 0
+        ? 0.0
+        : 1e3 * static_cast<double>(llc_misses) /
+              static_cast<double>(instructions);
+}
+
+PerfRegistry &
+PerfRegistry::global()
+{
+    static PerfRegistry registry;
+    return registry;
+}
+
+StageProfile &
+PerfRegistry::stage(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = stages_[name];
+    if (!slot)
+        slot = std::make_unique<StageProfile>();
+    return *slot;
+}
+
+std::vector<StageProfileSummary>
+PerfRegistry::snapshot() const
+{
+    std::vector<StageProfileSummary> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(stages_.size());
+    for (const auto &[name, profile] : stages_) {
+        StageProfileSummary s;
+        s.name = name;
+        s.scopes = profile->scopes.load(std::memory_order_relaxed);
+        s.cycles = profile->cycles.load(std::memory_order_relaxed);
+        s.instructions =
+            profile->instructions.load(std::memory_order_relaxed);
+        s.branch_misses =
+            profile->branch_misses.load(std::memory_order_relaxed);
+        s.llc_misses = profile->llc_misses.load(std::memory_order_relaxed);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+PerfRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, profile] : stages_) {
+        profile->scopes.store(0, std::memory_order_relaxed);
+        profile->cycles.store(0, std::memory_order_relaxed);
+        profile->instructions.store(0, std::memory_order_relaxed);
+        profile->branch_misses.store(0, std::memory_order_relaxed);
+        profile->llc_misses.store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace seedex::obs

@@ -1,0 +1,186 @@
+#ifndef SEEDEX_OBS_PERFCOUNTERS_H
+#define SEEDEX_OBS_PERFCOUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace seedex::obs {
+
+/** One snapshot of the thread's hardware-counter group. A counter that
+ *  could not be opened (unsupported event, VM) stays zero; `valid` is
+ *  false when the whole group is unavailable. */
+struct PerfReading
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t branch_misses = 0;
+    uint64_t llc_misses = 0;
+    bool valid = false;
+};
+
+/**
+ * Is perf profiling globally requested? Reads `SEEDEX_PERF` once
+ * (anything but "off"/"0" keeps the default: on, with graceful
+ * per-thread fallback when `perf_event_open` is unavailable — CI
+ * containers, seccomp, non-Linux). perfOverrideEnabled() lets tests
+ * flip the cached decision.
+ */
+bool perfEnabled();
+void perfOverrideEnabled(bool on);
+
+/**
+ * The calling thread's hardware counter group: cycles, instructions,
+ * branch-misses, LLC-misses, opened once per thread via
+ * `perf_event_open` (counting mode, self-only, user space). When the
+ * syscall is unavailable or denied, the instance is permanently
+ * unavailable and every read returns an invalid zero reading — the
+ * documented no-op fallback.
+ */
+class PerfThreadCounters
+{
+  public:
+    static PerfThreadCounters &tls();
+
+    bool available() const { return available_; }
+
+    /** One group read (a single syscall for all four counters). */
+    PerfReading read() const;
+
+    ~PerfThreadCounters();
+
+    PerfThreadCounters(const PerfThreadCounters &) = delete;
+    PerfThreadCounters &operator=(const PerfThreadCounters &) = delete;
+
+  private:
+    PerfThreadCounters();
+
+    bool available_ = false;
+    int group_fd_ = -1;
+    std::vector<int> member_fds_;
+    /** Which PerfReading field each group member maps to, in open
+     *  order (optional events may be missing). */
+    std::vector<uint64_t PerfReading::*> fields_;
+};
+
+/** Accumulated counter deltas of one named stage (relaxed atomics; the
+ *  scopes of all threads fold into the same instance). */
+struct StageProfile
+{
+    std::atomic<uint64_t> scopes{0};
+    std::atomic<uint64_t> cycles{0};
+    std::atomic<uint64_t> instructions{0};
+    std::atomic<uint64_t> branch_misses{0};
+    std::atomic<uint64_t> llc_misses{0};
+};
+
+/** Point-in-time copy of one stage's totals plus derived rates. */
+struct StageProfileSummary
+{
+    std::string name;
+    uint64_t scopes = 0;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t branch_misses = 0;
+    uint64_t llc_misses = 0;
+
+    double ipc() const;
+    /** Misses per kilo-instruction. */
+    double branchMissesPerKiloInstr() const;
+    double llcMissesPerKiloInstr() const;
+};
+
+/**
+ * Process-wide registry of per-stage profiles, mirroring
+ * MetricsRegistry's contract: lookup-or-create locks once, call sites
+ * cache the returned reference (instances never move or die), reset()
+ * zeroes values without invalidating references.
+ */
+class PerfRegistry
+{
+  public:
+    static PerfRegistry &global();
+
+    StageProfile &stage(const std::string &name);
+
+    std::vector<StageProfileSummary> snapshot() const;
+
+    /** True once any thread successfully opened its counter group —
+     *  the run report's `profile.available` flag. */
+    bool
+    anyAvailable() const
+    {
+        return any_available_.load(std::memory_order_relaxed);
+    }
+
+    void
+    markAvailable()
+    {
+        any_available_.store(true, std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<StageProfile>> stages_;
+    std::atomic<bool> any_available_{false};
+};
+
+/**
+ * RAII profiling scope: reads the thread's counter group on entry and
+ * exit and folds the deltas into `stage`. Pairs with the stage
+ * TraceSpans (same names) so run reports carry per-stage IPC and miss
+ * rates. When profiling is off or unavailable the scope is a clean
+ * no-op (one cached-bool check plus one thread-local lookup).
+ */
+class PerfScope
+{
+  public:
+    explicit PerfScope(StageProfile &stage) : stage_(stage)
+    {
+        if (!perfEnabled())
+            return;
+        const PerfThreadCounters &c = PerfThreadCounters::tls();
+        if (!c.available())
+            return;
+        start_ = c.read();
+        active_ = start_.valid;
+    }
+
+    ~PerfScope()
+    {
+        if (!active_)
+            return;
+        const PerfReading end = PerfThreadCounters::tls().read();
+        if (!end.valid)
+            return;
+        stage_.scopes.fetch_add(1, std::memory_order_relaxed);
+        stage_.cycles.fetch_add(end.cycles - start_.cycles,
+                                std::memory_order_relaxed);
+        stage_.instructions.fetch_add(
+            end.instructions - start_.instructions,
+            std::memory_order_relaxed);
+        stage_.branch_misses.fetch_add(
+            end.branch_misses - start_.branch_misses,
+            std::memory_order_relaxed);
+        stage_.llc_misses.fetch_add(end.llc_misses - start_.llc_misses,
+                                    std::memory_order_relaxed);
+    }
+
+    PerfScope(const PerfScope &) = delete;
+    PerfScope &operator=(const PerfScope &) = delete;
+
+  private:
+    StageProfile &stage_;
+    PerfReading start_;
+    bool active_ = false;
+};
+
+} // namespace seedex::obs
+
+#endif // SEEDEX_OBS_PERFCOUNTERS_H

@@ -50,6 +50,15 @@ FilterStats::add(const FilterOutcome &o)
     VerdictCounters &vc = verdictCounters();
     ++total;
     vc.total.inc();
+    // Provenance ledger: attribute the verdict to the read whose scope
+    // is open on this thread (the single-threaded pipeline path; the
+    // threaded pipeline attributes per-job verdicts from BatchResult
+    // instead, where batches mix reads across threads).
+    if (obs::ReadRecord *rec = obs::Ledger::active()) {
+        rec->addVerdict(ledgerVerdict(o.verdict), o.ran_edit_machine);
+        if (!o.isAccepted())
+            ++rec->reruns;
+    }
     switch (o.verdict) {
       case Verdict::PassS2: ++pass_s2; vc.pass_s2.inc(); break;
       case Verdict::PassChecks: ++pass_checks; vc.pass_checks.inc(); break;

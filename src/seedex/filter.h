@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "align/extend.h"
+#include "obs/ledger.h"
 #include "seedex/checks.h"
 
 namespace seedex {
@@ -24,6 +25,25 @@ inline bool
 accepted(Verdict v)
 {
     return v == Verdict::PassS2 || v == Verdict::PassChecks;
+}
+
+/** The provenance-ledger reason code for a verdict (the single
+ *  conversion point between the filter enum and the stable JSONL
+ *  codes). */
+inline obs::LedgerVerdict
+ledgerVerdict(Verdict v)
+{
+    switch (v) {
+      case Verdict::PassS2: return obs::LedgerVerdict::PassS2;
+      case Verdict::PassChecks: return obs::LedgerVerdict::PassChecks;
+      case Verdict::FailS1: return obs::LedgerVerdict::FailS1;
+      case Verdict::FailEScore: return obs::LedgerVerdict::FailEScore;
+      case Verdict::FailEditCheck:
+        return obs::LedgerVerdict::FailEditCheck;
+      case Verdict::FailGscoreGuard:
+        return obs::LedgerVerdict::FailGscoreGuard;
+    }
+    return obs::LedgerVerdict::FailS1;
 }
 
 /**

@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+
 namespace seedex {
 
 namespace {
+
+/** Registry instruments for the long-read gap-fill workflow (§VII-D):
+ *  speculative banded fills, guarantee hits, and full-band reruns. */
+struct GlobalFilterCounters
+{
+    obs::Counter &fills =
+        obs::MetricsRegistry::global().counter("filter.global.fills");
+    obs::Counter &guaranteed =
+        obs::MetricsRegistry::global().counter("filter.global.guaranteed");
+    obs::Counter &reruns =
+        obs::MetricsRegistry::global().counter("filter.global.reruns");
+};
+
+GlobalFilterCounters &
+globalFilterCounters()
+{
+    static GlobalFilterCounters counters;
+    return counters;
+}
 
 /**
  * Sound upper bound on the score of any global path that touches a cell
@@ -64,6 +86,19 @@ GlobalSeedExFilter::run(const Sequence &query, const Sequence &target) const
         out.alignment =
             globalAlignBanded(query, target, config_.scoring, full);
         out.band_used = full;
+    }
+
+    GlobalFilterCounters &gc = globalFilterCounters();
+    gc.fills.inc();
+    if (out.guaranteed)
+        gc.guaranteed.inc();
+    if (out.rerun)
+        gc.reruns.inc();
+    if (obs::ReadRecord *rec = obs::Ledger::active()) {
+        ++rec->global_fills;
+        if (out.rerun)
+            ++rec->global_reruns;
+        rec->band_used = std::max(rec->band_used, out.band_used);
     }
     return out;
 }

@@ -8,6 +8,7 @@
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/perfcounters.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -156,6 +157,50 @@ TEST(Json, WriterRoundTripsThroughParser)
     EXPECT_DOUBLE_EQ(v.find("nested")->find("x")->number, -1.0);
 }
 
+TEST(Json, DoublesRoundTripExactly)
+{
+    // Round-trippable serialization: strtod(output) must recover the
+    // exact bits for values %.15g truncates (1/3, 0.1 + 0.2, 1e-7 * 7).
+    const double values[] = {0.0,
+                             0.1,
+                             1.0 / 3.0,
+                             0.1 + 0.2,
+                             7e-7,
+                             3.141592653589793,
+                             -2.2250738585072014e-308,
+                             1.7976931348623157e308,
+                             123456789.123456789};
+    for (const double d : values) {
+        JsonWriter w;
+        w.beginObject();
+        w.kv("v", d);
+        w.endObject();
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(JsonValue::parse(w.str(), v, &err)) << err;
+        EXPECT_EQ(v.find("v")->number, d)
+            << "serialized as " << w.str();
+    }
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("nan", std::nan(""));
+    w.kv("inf", HUGE_VAL);
+    w.kv("ninf", -HUGE_VAL);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"nan\":null,\"inf\":null,\"ninf\":null}");
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(w.str(), v, &err)) << err;
+    EXPECT_EQ(v.find("nan")->kind, JsonValue::Kind::Null);
+    EXPECT_EQ(v.find("inf")->kind, JsonValue::Kind::Null);
+    EXPECT_EQ(v.find("ninf")->kind, JsonValue::Kind::Null);
+}
+
 TEST(Json, ParserRejectsMalformedInput)
 {
     JsonValue v;
@@ -295,6 +340,92 @@ TEST(Logger, MacroCompilesAndRespectsLevel)
     SEEDEX_LOG(Debug, "test", "value %d", touch());
     EXPECT_EQ(evaluations, 0);
     log.setLevel(saved);
+}
+
+// ----------------------------------------------------------- PerfCounters
+
+TEST(PerfCounters, DisabledScopeIsANoOp)
+{
+    // SEEDEX_PERF=off semantics: no counters are read, no deltas fold.
+    perfOverrideEnabled(false);
+    PerfRegistry::global().reset();
+    StageProfile &stage = PerfRegistry::global().stage("test.perf.off");
+    {
+        PerfScope scope(stage);
+        volatile int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            sink = sink + i;
+        (void)sink;
+    }
+    EXPECT_EQ(stage.scopes.load(), 0u);
+    EXPECT_EQ(stage.cycles.load(), 0u);
+    EXPECT_EQ(stage.instructions.load(), 0u);
+    perfOverrideEnabled(true);
+}
+
+TEST(PerfCounters, ScopeEitherCountsOrFallsBackCleanly)
+{
+    // perf_event_open may be denied (CI containers, seccomp, non-Linux):
+    // either the scope records a plausible delta or it is a clean no-op.
+    // Both outcomes are correct; crashing or partial folds are not.
+    perfOverrideEnabled(true);
+    PerfRegistry::global().reset();
+    StageProfile &stage = PerfRegistry::global().stage("test.perf.live");
+    {
+        PerfScope scope(stage);
+        volatile int sink = 0;
+        for (int i = 0; i < 100000; ++i)
+            sink = sink + i;
+        (void)sink;
+    }
+    if (PerfThreadCounters::tls().available()) {
+        EXPECT_TRUE(PerfRegistry::global().anyAvailable());
+        EXPECT_EQ(stage.scopes.load(), 1u);
+        EXPECT_GT(stage.cycles.load(), 0u);
+        // A 100k-iteration loop executes at least that many
+        // instructions.
+        EXPECT_GT(stage.instructions.load(), 100000u);
+    } else {
+        EXPECT_EQ(stage.scopes.load(), 0u);
+        EXPECT_EQ(stage.cycles.load(), 0u);
+    }
+}
+
+TEST(PerfCounters, SummariesDeriveRatesSafely)
+{
+    StageProfileSummary s;
+    s.name = "empty";
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(s.branchMissesPerKiloInstr(), 0.0);
+    EXPECT_DOUBLE_EQ(s.llcMissesPerKiloInstr(), 0.0);
+
+    s.cycles = 1000;
+    s.instructions = 2500;
+    s.branch_misses = 5;
+    s.llc_misses = 2;
+    EXPECT_DOUBLE_EQ(s.ipc(), 2.5);
+    EXPECT_DOUBLE_EQ(s.branchMissesPerKiloInstr(), 2.0);
+    EXPECT_DOUBLE_EQ(s.llcMissesPerKiloInstr(), 0.8);
+}
+
+TEST(PerfRegistry, ResetKeepsStageReferencesValid)
+{
+    PerfRegistry &reg = PerfRegistry::global();
+    StageProfile &stage = reg.stage("test.perf.reset");
+    stage.scopes.fetch_add(3);
+    stage.cycles.fetch_add(42);
+    reg.reset();
+    EXPECT_EQ(stage.scopes.load(), 0u);
+    EXPECT_EQ(stage.cycles.load(), 0u);
+    stage.cycles.fetch_add(7);
+    bool found = false;
+    for (const StageProfileSummary &s : reg.snapshot()) {
+        if (s.name == "test.perf.reset") {
+            found = true;
+            EXPECT_EQ(s.cycles, 7u);
+        }
+    }
+    EXPECT_TRUE(found);
 }
 
 } // namespace

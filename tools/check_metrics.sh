@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Smoke check for the observability exports: runs the Fig. 17 bench with
-# --metrics-out (and a trace), then validates the run-report JSON schema;
-# then runs the kernel bench and validates the align.kernel.* instruments
-# and the BENCH_kernel.json sweep document; then runs the seeding bench
-# and validates the seed.* instruments and the BENCH_seed.json sweep.
+# --metrics-out (plus a trace and the provenance ledger), then validates
+# the run-report JSON schema, the ledger JSONL, and the ledger/profile
+# report sections; then runs the kernel bench and validates the
+# align.kernel.* instruments and the BENCH_kernel.json sweep document;
+# then runs the seeding bench and validates the seed.* instruments and
+# the BENCH_seed.json sweep.
 #
 # Usage: tools/check_metrics.sh [BUILD_DIR]     (default: build)
 set -euo pipefail
@@ -16,6 +18,7 @@ OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 METRICS="$OUT_DIR/metrics.json"
 TRACE="$OUT_DIR/trace.json"
+LEDGER="$OUT_DIR/ledger.jsonl"
 KERNEL_METRICS="$OUT_DIR/kernel_metrics.json"
 KERNEL_SWEEP="$OUT_DIR/BENCH_kernel.json"
 SEED_METRICS="$OUT_DIR/seed_metrics.json"
@@ -29,10 +32,12 @@ for bin in "$BENCH" "$KERNEL_BENCH" "$SEED_BENCH"; do
 done
 
 echo "== running $BENCH --quick --metrics-out=$METRICS"
-"$BENCH" --quick "--metrics-out=$METRICS" "--trace-out=$TRACE" > /dev/null
+"$BENCH" --quick "--metrics-out=$METRICS" "--trace-out=$TRACE" \
+    "--ledger-out=$LEDGER" > /dev/null
 
 [[ -s "$METRICS" ]] || { echo "FAIL: metrics file missing/empty" >&2; exit 1; }
 [[ -s "$TRACE" ]] || { echo "FAIL: trace file missing/empty" >&2; exit 1; }
+[[ -s "$LEDGER" ]] || { echo "FAIL: ledger file missing/empty" >&2; exit 1; }
 
 echo "== grep-level schema checks"
 for key in '"schema":"seedex.run_report/v1"' '"stage_seconds"' \
@@ -42,7 +47,7 @@ done
 grep -q '"traceEvents"' "$TRACE" || { echo "FAIL: no traceEvents in $TRACE" >&2; exit 1; }
 
 echo "== structural checks (python json)"
-python3 - "$METRICS" "$TRACE" <<'EOF'
+python3 - "$METRICS" "$TRACE" "$LEDGER" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -79,10 +84,61 @@ events = trace["traceEvents"]
 assert events, "empty trace"
 assert any(e["ph"] == "X" for e in events)
 
+# --- Provenance ledger: every JSONL line parses, and the per-read
+# verdict tallies sum exactly to the SeedEx software run's filter
+# verdicts (the run the ledger was enabled for).
+ledger_keys = ("pass_s2", "pass_checks", "fail_s1", "fail_e_score",
+               "fail_edit_check", "fail_gscore_guard")
+records = []
+with open(sys.argv[3]) as f:
+    for n, line in enumerate(f, 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            raise AssertionError(f"ledger line {n} malformed: {e}")
+assert records, "empty ledger"
+indexes = [r["read"] for r in records]
+assert len(set(indexes)) == len(indexes), "duplicate read indexes"
+for r in records:
+    for field in ("read", "name", "seeds", "chains", "chain", "band",
+                  "band_used", "kernel_calls", "extensions", "verdicts",
+                  "reruns", "score", "mapped", "kernel"):
+        assert field in r, f"ledger record missing {field!r}"
+for key in ledger_keys:
+    tallied = sum(r["verdicts"][key] for r in records)
+    assert tallied == flt[key], (key, tallied, flt[key])
+
+# --- Ledger rollup section mirrors the JSONL.
+led = report["ledger"]
+assert led["records"] == len(records), (led["records"], len(records))
+assert led["sample_every"] == 1
+assert led["verdict_total"] == flt["total"]
+for key in ledger_keys:
+    assert led["verdicts"][key] == flt[key], key
+assert led["reruns"] == sum(r["reruns"] for r in records)
+assert 0.0 <= led["fallback_rate"] <= 1.0
+band_hist_total = sum(b["count"] for b in led["band_used"])
+assert band_hist_total == led["records"], band_hist_total
+
+# --- Hardware-counter profile: available is a bool; when counters are
+# open every exercised stage carries a positive IPC.
+profile = report["profile"]
+assert isinstance(profile["available"], bool)
+assert isinstance(profile["stages"], dict)
+if profile["available"]:
+    exercised = {n: s for n, s in profile["stages"].items()
+                 if s["scopes"] > 0}
+    assert exercised, "perf available but no stage recorded a scope"
+    for name, stage in exercised.items():
+        assert stage["cycles"] > 0, name
+        assert stage["ipc"] > 0, name
+
 print(f"ok: {len(verdicts)} verdict counters sum to "
       f"{pipeline['extensions']} extensions; "
       f"extension latency p50={hist['p50']:.2e}s p99={hist['p99']:.2e}s; "
-      f"{len(events)} trace events")
+      f"{len(events)} trace events; ledger {len(records)} records "
+      f"(fallback rate {led['fallback_rate']:.3f}); "
+      f"perf available={profile['available']}")
 EOF
 
 echo "== running $KERNEL_BENCH --quick --metrics-out=$KERNEL_METRICS"
@@ -129,6 +185,7 @@ assert hist["count"] == dispatch_total, (hist["count"], dispatch_total)
 
 with open(sys.argv[2]) as f:
     sweep = json.load(f)
+assert sweep["schema"] == "seedex.bench_sweep/v1", sweep.get("schema")
 assert sweep["bench"] == "bench_kernel"
 assert sweep["dispatch"] == kernel["dispatch"]
 assert sweep["extension"], "empty extension sweep"
@@ -180,6 +237,7 @@ assert 0 < hist["p50"] <= hist["p90"] <= hist["p99"]
 
 with open(sys.argv[2]) as f:
     sweep = json.load(f)
+assert sweep["schema"] == "seedex.bench_sweep/v1", sweep.get("schema")
 assert sweep["bench"] == "bench_seed"
 cells = sweep["cells"]
 assert cells, "empty seeding sweep"
