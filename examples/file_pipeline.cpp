@@ -3,8 +3,14 @@
  * File-based pipeline: the shape of a real aligner run.
  *
  * Writes a synthetic reference to FASTA and simulated reads to FASTQ,
- * then reads both back, aligns with the SeedEx engine and emits a SAM
- * file with a header — exercising the genome-I/O substrate end to end.
+ * then reads both back, aligns with the threaded SeedEx pipeline and
+ * streams a SAM file with a header — exercising the genome-I/O
+ * substrate and the producer-consumer hand-off end to end. Records are
+ * written the moment the reorder buffer retires them, in input order,
+ * without buffering the run.
+ *
+ * Thread/batch knobs come from the environment (SEEDEX_THREADS,
+ * SEEDEX_BATCH, SEEDEX_QUEUE_CAP, SEEDEX_QUEUE_SHARDS — see README).
  *
  * Usage: file_pipeline [workdir] [reads]
  */
@@ -14,6 +20,7 @@
 #include <iostream>
 
 #include "aligner/pipeline.h"
+#include "aligner/threaded.h"
 #include "genome/fasta.h"
 #include "genome/read_sim.h"
 #include "genome/reference.h"
@@ -52,28 +59,38 @@ main(int argc, char **argv)
               << " bp reference and " << read_records.size()
               << " reads from " << dir << '\n';
 
-    // --- Align and write SAM.
-    PipelineConfig config;
-    config.engine = EngineKind::SeedEx;
-    Aligner aligner(ref_records[0].seq, config);
+    // --- Align threaded and stream SAM in input order.
+    std::vector<std::pair<std::string, Sequence>> reads;
+    reads.reserve(read_records.size());
+    for (const FastqRecord &rec : read_records)
+        reads.emplace_back(rec.name, rec.seq);
+
+    ThreadedConfig config;
+    config.pipeline.engine = EngineKind::SeedEx;
+    config.applyEnv(); // SEEDEX_THREADS / SEEDEX_BATCH / queue knobs
+
     std::ofstream sam(dir + "/out.sam");
     sam << "@HD\tVN:1.6\tSO:unsorted\n";
     sam << "@SQ\tSN:" << ref_records[0].name
         << "\tLN:" << ref_records[0].seq.size() << '\n';
     sam << "@PG\tID:seedex\tPN:seedex-quickstart\n";
-    PipelineStats stats;
     size_t mapped = 0;
-    for (const FastqRecord &rec : read_records) {
-        const SamRecord out = aligner.alignRead(rec.name, rec.seq, &stats);
-        mapped += out.mapped();
-        sam << out.render() << '\n';
-    }
+    ThreadedReport report;
+    alignThreadedStream(
+        ref_records[0].seq, reads, config,
+        [&](size_t /*read_idx*/, SamRecord &&out) {
+            // The reorder buffer retires batches in input order, so
+            // records arrive here already sequenced for the file.
+            mapped += out.mapped();
+            sam << out.render() << '\n';
+        },
+        &report);
     std::cout << "wrote " << dir << "/out.sam: " << mapped << '/'
-              << read_records.size() << " reads mapped, "
-              << stats.extensions << " extensions, SeedEx pass rate "
-              << (stats.filter.total
-                      ? 100.0 * stats.filter.passRate()
-                      : 0.0)
-              << "%\n";
+              << read_records.size() << " reads mapped by "
+              << report.seeding_threads << " seeding + "
+              << report.fpga_threads << " fpga threads ("
+              << report.batches << " batches of " << report.batch_size
+              << ", " << report.extensions << " extensions, pool hit rate "
+              << 100.0 * report.pool.hitRate() << "%)\n";
     return 0;
 }

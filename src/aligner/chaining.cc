@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 namespace seedex {
 
@@ -15,7 +16,17 @@ Chain::anchor() const
     return *best;
 }
 
+ChainWorkspace &
+ChainWorkspace::tls()
+{
+    thread_local ChainWorkspace ws;
+    return ws;
+}
+
 namespace {
+
+/** Tombstone for retired entries in the active-chain window. */
+constexpr uint32_t kRetired = std::numeric_limits<uint32_t>::max();
 
 /** Can `seed` join a chain whose last seed is `last`? */
 bool
@@ -53,50 +64,93 @@ chainWeight(const Chain &chain)
 
 } // namespace
 
-std::vector<Chain>
-chainSeeds(const std::vector<Seed> &seeds, const ChainingParams &params)
+size_t
+chainSeedsInto(const std::vector<Seed> &seeds, const ChainingParams &params,
+               ChainWorkspace &ws, std::vector<Chain> &chains)
 {
-    std::vector<Chain> chains;
+    ws.active.clear();
+    size_t n_built = 0;
+    size_t dead = 0;
     for (const Seed &seed : seeds) {
         Chain *home = nullptr;
         // Greedy: try to append to the most recent compatible chain of
-        // the same strand (seeds arrive reference-sorted).
-        for (auto it = chains.rbegin(); it != chains.rend(); ++it) {
-            if (it->reverse == seed.reverse &&
-                compatible(it->seeds.back(), seed, params)) {
-                home = &*it;
+        // the same strand. Seeds arrive sorted by (strand, rbeg), so a
+        // chain is scanned only while it can still accept a seed:
+        //  - same strand, but the reference gap to this seed already
+        //    exceeds max_gap -> every later seed of this strand starts
+        //    even further right, so the gap only grows: retire;
+        //  - chain is forward-strand and the scan has entered the
+        //    reverse-seed block (the strand flips exactly once): retire.
+        // Retired chains would fail compatible() anyway, so dropping
+        // them never changes which chain is chosen.
+        for (size_t a = ws.active.size(); a-- > 0;) {
+            const uint32_t idx = ws.active[a];
+            if (idx == kRetired)
+                continue;
+            Chain &chain = chains[idx];
+            const Seed &last = chain.seeds.back();
+            const bool strand_done = !chain.reverse && seed.reverse;
+            const bool gap_done = chain.reverse == seed.reverse &&
+                static_cast<int64_t>(seed.rbeg) -
+                        static_cast<int64_t>(last.rend()) >
+                    params.max_gap;
+            if (strand_done || gap_done) {
+                ws.active[a] = kRetired;
+                ++dead;
+                continue;
+            }
+            if (chain.reverse == seed.reverse &&
+                compatible(last, seed, params)) {
+                home = &chain;
                 break;
             }
+        }
+        if (dead * 2 > ws.active.size()) {
+            ws.active.erase(std::remove(ws.active.begin(), ws.active.end(),
+                                        kRetired),
+                            ws.active.end());
+            dead = 0;
         }
         if (home) {
             home->seeds.push_back(seed);
         } else {
-            Chain chain;
+            // Recycle a spare Chain slot (seed storage retained) or grow
+            // the storage high-water mark.
+            if (n_built == chains.size())
+                chains.emplace_back();
+            Chain &chain = chains[n_built];
             chain.reverse = seed.reverse;
+            chain.weight = 0;
+            chain.seeds.clear();
             chain.seeds.push_back(seed);
-            chains.push_back(std::move(chain));
+            ws.active.push_back(static_cast<uint32_t>(n_built));
+            ++n_built;
         }
     }
-    for (Chain &chain : chains)
-        chain.weight = chainWeight(chain);
+    for (size_t i = 0; i < n_built; ++i)
+        chains[i].weight = chainWeight(chains[i]);
 
-    std::sort(chains.begin(), chains.end(),
+    std::sort(chains.begin(),
+              chains.begin() + static_cast<std::ptrdiff_t>(n_built),
               [](const Chain &a, const Chain &b) {
                   return a.weight > b.weight;
               });
 
     // Filter: weight floor relative to the best, query-overlap masking,
-    // and the global cap.
-    std::vector<Chain> kept;
-    for (Chain &chain : chains) {
-        if (kept.size() >= params.max_chains)
+    // and the global cap. Kept chains compact to the front in place;
+    // rejected ones swap toward the back and stay as spare storage.
+    size_t kept = 0;
+    for (size_t i = 0; i < n_built; ++i) {
+        if (kept >= params.max_chains)
             break;
-        if (!kept.empty() &&
+        Chain &chain = chains[i];
+        if (kept > 0 &&
             chain.weight <
-                params.drop_ratio * static_cast<double>(kept[0].weight))
+                params.drop_ratio * static_cast<double>(chains[0].weight))
             break;
         bool masked = false;
-        for (const Chain &strong : kept) {
+        for (size_t k = 0; k < kept; ++k) {
+            const Chain &strong = chains[k];
             const int lo = std::max(chain.qbeg(), strong.qbeg());
             const int hi = std::min(chain.qend(), strong.qend());
             const int overlap = std::max(0, hi - lo);
@@ -108,10 +162,22 @@ chainSeeds(const std::vector<Seed> &seeds, const ChainingParams &params)
                 break;
             }
         }
-        if (!masked)
-            kept.push_back(std::move(chain));
+        if (!masked) {
+            if (i != kept)
+                std::swap(chains[kept], chains[i]);
+            ++kept;
+        }
     }
     return kept;
+}
+
+std::vector<Chain>
+chainSeeds(const std::vector<Seed> &seeds, const ChainingParams &params)
+{
+    ChainWorkspace ws;
+    std::vector<Chain> chains;
+    chains.resize(chainSeedsInto(seeds, params, ws, chains));
+    return chains;
 }
 
 } // namespace seedex

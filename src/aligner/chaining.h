@@ -1,6 +1,7 @@
 #ifndef SEEDEX_ALIGNER_CHAINING_H
 #define SEEDEX_ALIGNER_CHAINING_H
 
+#include <cstdint>
 #include <vector>
 
 #include "aligner/seeding.h"
@@ -39,6 +40,23 @@ struct ChainingParams
 };
 
 /**
+ * Reusable chaining scratch: the active-chain window of the greedy
+ * grouping pass. One per thread (or per producer); grows to the
+ * workload high-water mark, so steady-state chaining performs zero heap
+ * allocations (same arena discipline as DpWorkspace / SeedWorkspace).
+ */
+struct ChainWorkspace
+{
+    /** Indices (into the chain storage) of chains that can still accept
+     *  a reference-sorted seed; retired entries are tombstoned and
+     *  compacted lazily. */
+    std::vector<uint32_t> active;
+
+    /** This thread's workspace (created on first use). */
+    static ChainWorkspace &tls();
+};
+
+/**
  * Chaining stage: greedy co-linear grouping of seeds (seeds sorted by
  * strand/position merge into a chain when the reference gap, query gap
  * and diagonal drift stay within budget), then BWA-style filtering by
@@ -46,6 +64,21 @@ struct ChainingParams
  */
 std::vector<Chain> chainSeeds(const std::vector<Seed> &seeds,
                               const ChainingParams &params);
+
+/**
+ * chainSeeds into caller-owned, recycled storage (the zero-allocation
+ * form). The first `return`ed entries of `chains` are the kept chains,
+ * heaviest-first and bit-identical to chainSeeds' output; entries beyond
+ * that are spare capacity retained for the next read. The greedy scan is
+ * O(active window) per seed: because seeds arrive sorted by
+ * (strand, rbeg), a chain whose last seed ends more than max_gap before
+ * the current seed's rbeg can never accept another seed and is retired
+ * from the scan permanently (the reverse full-scan this replaces was
+ * worst-case quadratic on repeat-dense reads).
+ */
+size_t chainSeedsInto(const std::vector<Seed> &seeds,
+                      const ChainingParams &params, ChainWorkspace &ws,
+                      std::vector<Chain> &chains);
 
 } // namespace seedex
 

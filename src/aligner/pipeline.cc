@@ -147,19 +147,22 @@ Aligner::alignSeeded(const std::string &name, const Sequence &read,
     }
 
     // --- Chaining (charged to the "seeding" bar of Fig. 17 together
-    //     with the SMEM/locate time handed in by the caller).
-    std::vector<Chain> chains;
+    //     with the SMEM/locate time handed in by the caller). Chain
+    //     storage is recycled per thread: steady state allocates nothing.
+    thread_local std::vector<Chain> chains;
+    size_t n_chains = 0;
     {
         obs::TraceSpan span("aligner.seeding", "aligner");
         obs::PerfScope perf(alignerProfiles().seeding);
         seeding_watch.start();
-        chains = chainSeeds(seeds, config_.chaining);
+        n_chains = chainSeedsInto(seeds, config_.chaining,
+                                  ChainWorkspace::tls(), chains);
         seeding_watch.stop();
     }
 
     SamRecord rec;
     int chain_chosen = -1;
-    if (chains.empty()) {
+    if (n_chains == 0) {
         other_watch.start();
         rec = unmappedRecord(name, read);
         other_watch.stop();
@@ -171,9 +174,10 @@ Aligner::alignSeeded(const std::string &name, const Sequence &read,
         CapturingEngine engine(*engine_, capture);
         const Sequence rc = read.reverseComplement();
         std::vector<ChainAlignment> results;
-        results.reserve(chains.size());
+        results.reserve(n_chains);
         const uint64_t calls_before = engine_->calls();
-        for (const Chain &chain : chains) {
+        for (size_t c = 0; c < n_chains; ++c) {
+            const Chain &chain = chains[c];
             const Sequence &oriented = chain.reverse ? rc : read;
             results.push_back(extendChain(chain, oriented, ref_, engine,
                                           config_.extension));
@@ -205,7 +209,7 @@ Aligner::alignSeeded(const std::string &name, const Sequence &read,
     }
 
     if (obs::ReadRecord *ledger_rec = ledger_scope.record()) {
-        ledger_rec->chains = static_cast<uint32_t>(chains.size());
+        ledger_rec->chains = static_cast<uint32_t>(n_chains);
         ledger_rec->chain_chosen = chain_chosen;
         ledger_rec->extensions = static_cast<uint32_t>(read_extensions);
         ledger_rec->score = rec.score;
@@ -230,12 +234,12 @@ Aligner::alignSeeded(const std::string &name, const Sequence &read,
     if (read_extensions)
         m.extensions.inc(read_extensions);
     m.seeding.observe(seeding_seconds);
-    if (!chains.empty())
+    if (n_chains != 0)
         m.extension.observe(extension_watch.seconds());
     m.other.observe(other_watch.seconds());
     SEEDEX_LOG(Trace, "aligner",
                "read %s: %zu chains, %llu extensions, mapped=%d",
-               name.c_str(), chains.size(),
+               name.c_str(), n_chains,
                static_cast<unsigned long long>(read_extensions),
                rec.mapped() ? 1 : 0);
     return rec;

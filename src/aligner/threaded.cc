@@ -1,13 +1,13 @@
 #include "aligner/threaded.h"
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
 #include "align/kernel.h"
 #include "align/workspace.h"
+#include "aligner/batch_ring.h"
 #include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -19,8 +19,9 @@ namespace seedex {
 
 namespace {
 
-/** Producer-consumer instruments (Fig. 12): queue pressure plus the
- *  batch/rerun counters the ThreadedReport aggregates per run. */
+/** Producer-consumer instruments (Fig. 12): the batch/rerun counters
+ *  the ThreadedReport aggregates per run (queue/pool/reorder pressure
+ *  lives with the structures in batch_ring.cc). */
 struct ThreadedMetrics
 {
     obs::Counter &reads =
@@ -31,8 +32,6 @@ struct ThreadedMetrics
         obs::MetricsRegistry::global().counter("threaded.extensions");
     obs::Counter &reruns =
         obs::MetricsRegistry::global().counter("threaded.reruns");
-    obs::Gauge &queue_depth =
-        obs::MetricsRegistry::global().gauge("threaded.queue.depth");
     obs::LatencyHistogram &batch_wall =
         obs::MetricsRegistry::global().histogram(
             "threaded.batch.wall_seconds");
@@ -62,77 +61,6 @@ threadedProfiles()
     return profiles;
 }
 
-/** One seeded read queued for the FPGA threads. */
-struct SeededRead
-{
-    size_t read_idx = 0;
-    const std::string *name = nullptr;
-    const Sequence *read = nullptr;
-    Sequence reverse_complement;
-    std::vector<Chain> chains;
-    /** Seeds collected by the producer (provenance ledger). */
-    uint32_t n_seeds = 0;
-};
-
-/** Bounded MPMC queue (the producer-consumer hand-off of Fig. 12). */
-class SeededQueue
-{
-  public:
-    explicit SeededQueue(size_t capacity) : capacity_(capacity) {}
-
-    void
-    push(SeededRead item)
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock,
-                       [&] { return queue_.size() < capacity_; });
-        queue_.push_back(std::move(item));
-        recordDepth(queue_.size());
-        not_empty_.notify_one();
-    }
-
-    /** Pop up to `max_items`; returns false when drained and closed. */
-    bool
-    popBatch(size_t max_items, std::vector<SeededRead> &out)
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock,
-                        [&] { return !queue_.empty() || closed_; });
-        if (queue_.empty())
-            return false;
-        while (!queue_.empty() && out.size() < max_items) {
-            out.push_back(std::move(queue_.front()));
-            queue_.pop_front();
-        }
-        recordDepth(queue_.size());
-        not_full_.notify_all();
-        return true;
-    }
-
-    void
-    close()
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        closed_ = true;
-        not_empty_.notify_all();
-    }
-
-  private:
-    void
-    recordDepth(size_t depth)
-    {
-        threadedMetrics().queue_depth.set(static_cast<int64_t>(depth));
-        obs::TraceSession::global().counter("threaded.queue.depth",
-                                            static_cast<double>(depth));
-    }
-
-    std::mutex mutex_;
-    std::condition_variable not_empty_, not_full_;
-    std::deque<SeededRead> queue_;
-    size_t capacity_;
-    bool closed_ = false;
-};
-
 /** One pending extension of a chain (left or right side). */
 struct PendingExtension
 {
@@ -147,12 +75,47 @@ reversedSeq(const Sequence &s)
     return Sequence(std::move(b));
 }
 
+/** Positive integer environment knob; `fallback` when unset/garbage. */
+long
+envLong(const char *name, long fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return fallback;
+    char *end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || n <= 0)
+        return fallback;
+    return n;
+}
+
 } // namespace
 
-std::vector<SamRecord>
-alignThreaded(const Sequence &reference,
-              const std::vector<std::pair<std::string, Sequence>> &reads,
-              const ThreadedConfig &config, ThreadedReport *report)
+void
+ThreadedConfig::applyEnv()
+{
+    const long threads = envLong("SEEDEX_THREADS", 0);
+    if (threads > 0) {
+        // The paper's 3:1 split (most threads seed; a few drive the
+        // device), with at least one thread on each side.
+        seeding_threads =
+            static_cast<int>(std::max<long>(1, (threads * 3) / 4));
+        fpga_threads =
+            static_cast<int>(std::max<long>(1, threads - seeding_threads));
+    }
+    batch_size = static_cast<size_t>(
+        envLong("SEEDEX_BATCH", static_cast<long>(batch_size)));
+    queue_capacity = static_cast<size_t>(
+        envLong("SEEDEX_QUEUE_CAP", static_cast<long>(queue_capacity)));
+    queue_shards = static_cast<int>(
+        envLong("SEEDEX_QUEUE_SHARDS", static_cast<long>(queue_shards)));
+}
+
+void
+alignThreadedStream(const Sequence &reference,
+                    const std::vector<std::pair<std::string, Sequence>> &reads,
+                    const ThreadedConfig &config, const SamSink &sink,
+                    ThreadedReport *report)
 {
     const FmdIndex index(reference);
     // The single FPGA: one accelerator instance behind a lock (§V-B:
@@ -163,11 +126,40 @@ alignThreaded(const Sequence &reference,
     const SeedExAccelerator device(config.organization, filter_cfg);
     std::mutex fpga_lock;
 
-    std::vector<SamRecord> records(reads.size());
-    SeededQueue queue(config.batch_size * 4);
+    const size_t batch_size = std::max<size_t>(1, config.batch_size);
+    const int n_producers = std::max(1, config.seeding_threads);
+    const int n_consumers = std::max(1, config.fpga_threads);
+    size_t shards = config.queue_shards > 0
+        ? static_cast<size_t>(config.queue_shards)
+        : (n_producers <= 3
+               ? 1
+               : std::min<size_t>(4,
+                                  static_cast<size_t>(n_producers) / 2));
+    shards = std::min<size_t>(shards, static_cast<size_t>(n_producers));
+    const size_t capacity = std::max<size_t>(1, config.queue_capacity);
+
+    // In-flight bound: every batch is either unpushed in a producer, in
+    // the ring, or claimed by a consumer. The pool free list is sized to
+    // it so it never regrows, and the reorder window is at least as
+    // large so producer-side reserve() admits the whole in-flight set.
+    const size_t inflight_bound = shards * capacity +
+        static_cast<size_t>(n_producers) +
+        static_cast<size_t>(n_consumers) + 2;
+
+    BatchRing ring(capacity, shards);
+    BatchPool pool(inflight_bound, batch_size);
+    ReorderBuffer reorder(
+        inflight_bound,
+        [&](size_t base, std::vector<SamRecord> &&recs) {
+            for (size_t i = 0; i < recs.size(); ++i)
+                sink(base + i, std::move(recs[i]));
+        });
+
     std::atomic<size_t> next_read{0};
     std::atomic<uint64_t> extensions{0}, reruns{0}, batches{0},
         device_cycles{0};
+    std::mutex cpu_mutex;
+    double producer_cpu = 0, consumer_cpu = 0, device_cpu = 0;
 
     Stopwatch wall;
     wall.start();
@@ -182,55 +174,92 @@ alignThreaded(const Sequence &reference,
         max_read_len + static_cast<size_t>(std::max(config.pipeline.band, 0)) +
         2;
 
-    // ---- Producers: seeding + chaining. Each claims a chunk of reads
-    // and advances their SMEM searches in lockstep (collectSeedsBatch),
-    // so the FM-index walks of the whole chunk overlap in the memory
-    // system instead of stalling one cache miss at a time.
+    // ---- Producers: seeding + chaining into pooled batch slabs. Each
+    // claims a whole batch worth of reads and advances their SMEM
+    // searches in lockstep (collectSeedsBatch) a seed-chunk at a time,
+    // so the FM-index walks overlap in the memory system; the filled
+    // slab is published with a single ring operation.
     const size_t seed_chunk = seedBatchSize();
-    auto seeding_worker = [&] {
+    auto seeding_worker = [&](size_t producer_id) {
         DpWorkspace::tls().prepareExtension(max_read_len, max_target_len);
         SeedWorkspace &ws = SeedWorkspace::tls();
+        ChainWorkspace &cws = ChainWorkspace::tls();
         std::vector<const Sequence *> queries(seed_chunk);
         std::vector<std::vector<Seed>> seeds(seed_chunk);
+        const double cpu_begin = threadCpuSeconds();
         for (;;) {
-            const size_t base = next_read.fetch_add(seed_chunk);
+            const size_t base = next_read.fetch_add(batch_size);
             if (base >= reads.size())
-                return;
-            const size_t n = std::min(seed_chunk, reads.size() - base);
-            obs::TraceSpan span("threaded.seed_chunk", "threaded");
-            obs::PerfScope perf(threadedProfiles().seed_chunk);
-            for (size_t r = 0; r < n; ++r)
-                queries[r] = &reads[base + r].second;
-            collectSeedsBatch(index, queries.data(), n,
-                              config.pipeline.seeding, ws, seeds);
-            for (size_t r = 0; r < n; ++r) {
-                SeededRead item;
-                item.read_idx = base + r;
-                item.name = &reads[base + r].first;
-                item.read = &reads[base + r].second;
-                item.n_seeds = static_cast<uint32_t>(seeds[r].size());
-                item.chains =
-                    chainSeeds(seeds[r], config.pipeline.chaining);
-                bool any_reverse = false;
-                for (const Chain &chain : item.chains)
-                    any_reverse |= chain.reverse;
-                if (any_reverse)
-                    item.reverse_complement =
-                        item.read->reverseComplement();
-                queue.push(std::move(item));
+                break;
+            const size_t n = std::min(batch_size, reads.size() - base);
+            // Admission control: wait until this sequence number fits the
+            // reorder window BEFORE taking a slab. Published batches are
+            // then inside the window by construction, so consumers never
+            // block in reorder.complete() and always drain the ring (a
+            // consumer parked at the window edge while the head batch sat
+            // unclaimed in another shard would deadlock the run).
+            reorder.reserve(base / batch_size);
+            SeededBatch *batch = pool.acquire();
+            batch->seq = base / batch_size;
+            batch->base = base;
+            batch->n_items = n;
+            for (size_t chunk = 0; chunk < n; chunk += seed_chunk) {
+                const size_t m = std::min(seed_chunk, n - chunk);
+                obs::TraceSpan span("threaded.seed_chunk", "threaded");
+                obs::PerfScope perf(threadedProfiles().seed_chunk);
+                for (size_t r = 0; r < m; ++r)
+                    queries[r] = &reads[base + chunk + r].second;
+                collectSeedsBatch(index, queries.data(), m,
+                                  config.pipeline.seeding, ws, seeds);
+                for (size_t r = 0; r < m; ++r) {
+                    SeededRead &item = batch->items[chunk + r];
+                    item.read_idx = base + chunk + r;
+                    item.name = &reads[item.read_idx].first;
+                    item.read = &reads[item.read_idx].second;
+                    item.n_seeds = static_cast<uint32_t>(seeds[r].size());
+                    item.n_chains = chainSeedsInto(
+                        seeds[r], config.pipeline.chaining, cws,
+                        item.chains);
+                    bool any_reverse = false;
+                    for (size_t c = 0; c < item.n_chains; ++c)
+                        any_reverse |= item.chains[c].reverse;
+                    if (any_reverse)
+                        item.read->reverseComplementInto(
+                            item.reverse_complement);
+                }
             }
+            ring.push(batch, producer_id);
         }
+        const double cpu = threadCpuSeconds() - cpu_begin;
+        std::lock_guard<std::mutex> lock(cpu_mutex);
+        producer_cpu += cpu;
     };
 
     // ---- Consumers: FPGA threads (batch, extend, post-process).
     const ExtensionParams &xp = config.pipeline.extension;
-    auto fpga_worker = [&] {
+    auto fpga_worker = [&](size_t consumer_id) {
         DpWorkspace::tls().prepareExtension(max_read_len, max_target_len);
-        std::vector<SeededRead> batch;
+        // Per-consumer scratch, recycled across batches.
+        struct Slot
+        {
+            const SeededRead *item;
+            size_t item_idx;
+            const Chain *chain;
+            ChainAlignment aln;
+            int score;
+        };
+        std::vector<Slot> slots;
+        std::vector<PendingExtension> pending;
+        std::vector<ExtensionJob> jobs;
+        std::vector<obs::ReadRecord> ledger_recs;
+        std::vector<int> rec_of_item;
+        const double cpu_begin = threadCpuSeconds();
+        double my_device_cpu = 0;
         for (;;) {
-            batch.clear();
-            if (!queue.popBatch(config.batch_size, batch))
-                return;
+            SeededBatch *claimed = ring.pop(consumer_id);
+            if (claimed == nullptr)
+                break;
+            SeededBatch &batch = *claimed;
             obs::TraceSpan batch_span("threaded.fpga_batch", "threaded");
             obs::PerfScope batch_perf(threadedProfiles().fpga_batch);
             Stopwatch batch_watch;
@@ -243,19 +272,18 @@ alignThreaded(const Sequence &reference,
             // the thread-local scope the single-threaded pipeline uses.
             obs::Ledger &ledger = obs::Ledger::global();
             const bool ledger_on = ledger.enabled();
-            std::vector<obs::ReadRecord> ledger_recs;
-            std::vector<int> rec_of_item;
+            ledger_recs.clear();
             if (ledger_on) {
-                rec_of_item.assign(batch.size(), -1);
-                for (size_t i = 0; i < batch.size(); ++i) {
-                    if (!ledger.shouldRecord(batch[i].read_idx))
+                rec_of_item.assign(batch.n_items, -1);
+                for (size_t i = 0; i < batch.n_items; ++i) {
+                    if (!ledger.shouldRecord(batch.items[i].read_idx))
                         continue;
                     obs::ReadRecord rec;
-                    rec.read_index = batch[i].read_idx;
-                    rec.name = *batch[i].name;
-                    rec.seeds = batch[i].n_seeds;
+                    rec.read_index = batch.items[i].read_idx;
+                    rec.name = *batch.items[i].name;
+                    rec.seeds = batch.items[i].n_seeds;
                     rec.chains =
-                        static_cast<uint32_t>(batch[i].chains.size());
+                        static_cast<uint32_t>(batch.items[i].n_chains);
                     rec.band = config.pipeline.band;
                     rec.kernel = kernelIsaName(kernelDispatch());
                     rec_of_item[i] =
@@ -265,18 +293,11 @@ alignThreaded(const Sequence &reference,
             }
 
             // Chain table for the whole batch.
-            struct Slot
-            {
-                const SeededRead *item;
-                size_t item_idx;
-                const Chain *chain;
-                ChainAlignment aln;
-                int score;
-            };
-            std::vector<Slot> slots;
-            for (size_t i = 0; i < batch.size(); ++i) {
-                const SeededRead &item = batch[i];
-                for (const Chain &chain : item.chains) {
+            slots.clear();
+            for (size_t i = 0; i < batch.n_items; ++i) {
+                const SeededRead &item = batch.items[i];
+                for (size_t c = 0; c < item.n_chains; ++c) {
+                    const Chain &chain = item.chains[c];
                     Slot slot;
                     slot.item = &item;
                     slot.item_idx = i;
@@ -324,7 +345,7 @@ alignThreaded(const Sequence &reference,
             };
 
             // Phase 1: package all left extensions.
-            std::vector<PendingExtension> pending;
+            pending.clear();
             for (size_t s = 0; s < slots.size(); ++s) {
                 const Seed &anchor = slots[s].chain->anchor();
                 if (anchor.qbeg == 0)
@@ -342,14 +363,16 @@ alignThreaded(const Sequence &reference,
                 pending.push_back(std::move(p));
             }
             auto run_batch = [&](std::vector<PendingExtension> &pend) {
-                std::vector<ExtensionJob> jobs;
+                jobs.clear();
                 jobs.reserve(pend.size());
                 for (PendingExtension &p : pend)
                     jobs.push_back(p.job);
                 obs::TraceSpan push_span("threaded.device_push",
                                          "threaded");
                 std::lock_guard<std::mutex> lock(fpga_lock);
+                const double device_begin = threadCpuSeconds();
                 BatchResult r = device.processBatch(jobs);
+                my_device_cpu += threadCpuSeconds() - device_begin;
                 device_cycles += r.device_cycles;
                 extensions += jobs.size();
                 reruns += r.reruns_checks + r.reruns_exception;
@@ -431,24 +454,25 @@ alignThreaded(const Sequence &reference,
                 }
             }
 
-            // Post-processing: best chain per read, traceback, SAM.
+            // Post-processing: best chain per read, traceback, SAM,
+            // then hand the whole batch to the reorder window.
             obs::TraceSpan post_span("threaded.postprocess", "threaded");
+            std::vector<SamRecord> recs(batch.n_items);
             size_t s = 0;
-            for (size_t i = 0; i < batch.size(); ++i) {
-                const SeededRead &item = batch[i];
+            for (size_t i = 0; i < batch.n_items; ++i) {
+                const SeededRead &item = batch.items[i];
                 obs::ReadRecord *rec =
                     ledger_on && rec_of_item[i] >= 0
                         ? &ledger_recs[static_cast<size_t>(
                               rec_of_item[i])]
                         : nullptr;
-                if (item.chains.empty()) {
-                    records[item.read_idx] =
-                        unmappedRecord(*item.name, *item.read);
+                if (item.n_chains == 0) {
+                    recs[i] = unmappedRecord(*item.name, *item.read);
                     continue;
                 }
                 size_t best = s;
                 int sub = 0;
-                for (size_t c = 1; c < item.chains.size(); ++c) {
+                for (size_t c = 1; c < item.n_chains; ++c) {
                     if (slots[s + c].score > slots[best].score) {
                         sub = slots[best].score;
                         best = s + c;
@@ -457,44 +481,55 @@ alignThreaded(const Sequence &reference,
                     }
                 }
                 slots[best].aln.score = slots[best].score;
-                records[item.read_idx] =
-                    buildSamRecord(*item.name, *item.read,
-                                   slots[best].aln, sub, reference,
-                                   xp.scoring);
+                recs[i] = buildSamRecord(*item.name, *item.read,
+                                         slots[best].aln, sub, reference,
+                                         xp.scoring);
                 if (rec != nullptr) {
                     rec->chain_chosen = static_cast<int>(best - s);
-                    rec->score = records[item.read_idx].score;
-                    rec->mapped = records[item.read_idx].mapped();
+                    rec->score = recs[i].score;
+                    rec->mapped = recs[i].mapped();
                 }
-                s += item.chains.size();
+                s += item.n_chains;
             }
             if (ledger_on) {
                 for (obs::ReadRecord &rec : ledger_recs)
                     ledger.publish(std::move(rec));
             }
+            const uint64_t seq = batch.seq;
+            const size_t base = batch.base;
+            const size_t n_items = batch.n_items;
+            // Slab back to the pool before the (possibly blocking)
+            // reorder hand-off so producers can refill it immediately.
+            pool.release(claimed);
+            reorder.complete(seq, base, std::move(recs));
 
             batch_watch.stop();
             ThreadedMetrics &m = threadedMetrics();
             m.batches.inc();
-            m.reads.inc(batch.size());
+            m.reads.inc(n_items);
             m.batch_wall.observe(batch_watch.seconds());
             SEEDEX_LOG(Debug, "threaded",
                        "fpga batch: %zu reads, %zu slots in %.3f ms",
-                       batch.size(), slots.size(),
+                       n_items, slots.size(),
                        batch_watch.seconds() * 1e3);
         }
+        const double cpu = threadCpuSeconds() - cpu_begin;
+        std::lock_guard<std::mutex> lock(cpu_mutex);
+        consumer_cpu += cpu;
+        device_cpu += my_device_cpu;
     };
 
     std::vector<std::thread> workers;
-    for (int t = 0; t < config.fpga_threads; ++t)
-        workers.emplace_back(fpga_worker);
+    for (int t = 0; t < n_consumers; ++t)
+        workers.emplace_back(fpga_worker, static_cast<size_t>(t));
     {
         std::vector<std::thread> producers;
-        for (int t = 0; t < config.seeding_threads; ++t)
-            producers.emplace_back(seeding_worker);
+        for (int t = 0; t < n_producers; ++t)
+            producers.emplace_back(seeding_worker,
+                                   static_cast<size_t>(t));
         for (std::thread &t : producers)
             t.join();
-        queue.close();
+        ring.close();
     }
     for (std::thread &t : workers)
         t.join();
@@ -507,12 +542,12 @@ alignThreaded(const Sequence &reference,
     }
     SEEDEX_LOG(Info, "threaded",
                "%zu reads in %.3f s (%d seeding + %d fpga threads, %llu "
-               "batches, %llu extensions, %llu reruns)",
-               reads.size(), wall.seconds(), config.seeding_threads,
-               config.fpga_threads,
+               "batches, %llu extensions, %llu reruns, %llu wakeups)",
+               reads.size(), wall.seconds(), n_producers, n_consumers,
                static_cast<unsigned long long>(batches.load()),
                static_cast<unsigned long long>(extensions.load()),
-               static_cast<unsigned long long>(reruns.load()));
+               static_cast<unsigned long long>(reruns.load()),
+               static_cast<unsigned long long>(ring.wakeups()));
 
     if (report) {
         report->wall_seconds = wall.seconds();
@@ -521,7 +556,43 @@ alignThreaded(const Sequence &reference,
         report->extensions = extensions;
         report->reruns = reruns;
         report->device_cycles = device_cycles;
+        report->seeding_threads = n_producers;
+        report->fpga_threads = n_consumers;
+        report->batch_size = batch_size;
+        report->producer_cpu_seconds = producer_cpu;
+        report->consumer_cpu_seconds = consumer_cpu;
+        report->device_emulation_cpu_seconds = device_cpu;
+        report->device_occupancy_seconds =
+            config.organization.clock_hz > 0
+                ? static_cast<double>(device_cycles.load()) /
+                    config.organization.clock_hz
+                : 0.0;
+        report->queue.publishes = ring.publishes();
+        report->queue.claims = ring.claims();
+        report->queue.wakeups = ring.wakeups();
+        report->queue.shards = ring.shardCount();
+        report->queue.capacity_batches = ring.capacityPerShard();
+        report->queue.max_depth = ring.maxDepth();
+        report->queue.avg_depth = ring.avgDepth();
+        report->pool.hits = pool.hits();
+        report->pool.misses = pool.misses();
+        report->reorder.retired = reorder.retired();
+        report->reorder.max_pending = reorder.maxPending();
     }
+}
+
+std::vector<SamRecord>
+alignThreaded(const Sequence &reference,
+              const std::vector<std::pair<std::string, Sequence>> &reads,
+              const ThreadedConfig &config, ThreadedReport *report)
+{
+    std::vector<SamRecord> records(reads.size());
+    alignThreadedStream(
+        reference, reads, config,
+        [&](size_t read_idx, SamRecord &&rec) {
+            records[read_idx] = std::move(rec);
+        },
+        report);
     return records;
 }
 

@@ -2,6 +2,7 @@
 #define SEEDEX_ALIGNER_THREADED_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "aligner/pipeline.h"
@@ -11,12 +12,14 @@ namespace seedex {
 
 /**
  * The software architecture of Fig. 12 (§V-B): seeding threads perform
- * seeding and chaining and queue batched chains for FPGA threads; FPGA
- * threads package extension jobs, acquire the device lock, push a batch
- * through the accelerator, parse results (updating the initial score of
- * right extensions with the left-extension outcome "in the middle of
- * parsing left extension results"), handle the rerun tail, and emit SAM
- * records. Results are produced out of order and reassembled by read id.
+ * seeding and chaining and publish whole batch slabs for FPGA threads;
+ * FPGA threads claim a slab, package extension jobs, acquire the device
+ * lock, push a batch through the accelerator, parse results (updating
+ * the initial score of right extensions with the left-extension outcome
+ * "in the middle of parsing left extension results"), handle the rerun
+ * tail, and emit SAM records. Results are produced out of order and
+ * streamed back in input order through a sequence-stamped reorder
+ * buffer (see batch_ring.h).
  */
 struct ThreadedConfig
 {
@@ -24,10 +27,24 @@ struct ThreadedConfig
     int seeding_threads = 3;
     /** Consumer threads driving the FPGA (load-balancing knob, §V-B). */
     int fpga_threads = 2;
-    /** Reads per FPGA batch. */
+    /** Reads per FPGA batch (= per published slab). */
     size_t batch_size = 64;
+    /** Hand-off ring capacity, in whole batches per shard. */
+    size_t queue_capacity = 8;
+    /** Ring shards; 0 = auto (single shard up to 3 producers, then one
+     *  per two producers, capped at 4). */
+    int queue_shards = 0;
     PipelineConfig pipeline;
     AcceleratorOrganization organization;
+
+    /**
+     * Fold the environment knobs into this config (README "Threading
+     * knobs"): SEEDEX_THREADS (total worker threads, split 3:1 between
+     * seeding and FPGA threads, at least one each), SEEDEX_BATCH,
+     * SEEDEX_QUEUE_CAP, SEEDEX_QUEUE_SHARDS. Unset or unparsable
+     * variables leave the current values untouched.
+     */
+    void applyEnv();
 };
 
 /** Telemetry of one threaded run. */
@@ -40,12 +57,79 @@ struct ThreadedReport
     uint64_t reruns = 0;
     /** Modeled FPGA occupancy summed over batches. */
     uint64_t device_cycles = 0;
+
+    // Run shape (so a report is self-describing in sweep JSON).
+    int seeding_threads = 0;
+    int fpga_threads = 0;
+    uint64_t batch_size = 0;
+
+    // Per-stage CPU accounting (thread CPU clock, so the numbers stay
+    // meaningful on an oversubscribed host — see threadCpuSeconds()).
+    double producer_cpu_seconds = 0;
+    double consumer_cpu_seconds = 0;
+    /** CPU spent emulating the device inside processBatch — a host
+     *  artifact a real FPGA would not pay; consumer_cpu_seconds
+     *  includes it. Approximation: measured around the whole
+     *  processBatch call under the device lock. */
+    double device_emulation_cpu_seconds = 0;
+    /** Modeled device busy time: device_cycles / clock_hz. */
+    double device_occupancy_seconds = 0;
+
+    /** Hand-off ring telemetry (threaded.queue.* instruments). */
+    struct Queue
+    {
+        uint64_t publishes = 0;
+        uint64_t claims = 0;
+        uint64_t wakeups = 0;
+        uint64_t shards = 0;
+        uint64_t capacity_batches = 0;
+        int64_t max_depth = 0;
+        double avg_depth = 0;
+    } queue;
+
+    /** Slab recycling effectiveness (threaded.pool.* instruments). */
+    struct Pool
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        double
+        hitRate() const
+        {
+            const uint64_t total = hits + misses;
+            return total ? static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+        }
+    } pool;
+
+    /** Reorder-buffer telemetry (threaded.reorder.* instruments). */
+    struct Reorder
+    {
+        uint64_t retired = 0;
+        int64_t max_pending = 0;
+    } reorder;
 };
 
+/** Receives finished records in strictly increasing read_idx order. */
+using SamSink = std::function<void(size_t read_idx, SamRecord &&rec)>;
+
 /**
- * Align a read set with the producer-consumer pipeline. Output records
- * are in input order and bit-identical to the single-threaded
- * full-band pipeline (the test suite checks both).
+ * Align a read set with the producer-consumer pipeline, streaming each
+ * record to `sink` in input order as soon as its batch retires from the
+ * reorder window (memory stays bounded by the in-flight window, not the
+ * read count). Records are bit-identical to the single-threaded
+ * full-band pipeline. The sink runs on consumer threads but is never
+ * called concurrently.
+ */
+void
+alignThreadedStream(const Sequence &reference,
+                    const std::vector<std::pair<std::string, Sequence>> &reads,
+                    const ThreadedConfig &config, const SamSink &sink,
+                    ThreadedReport *report = nullptr);
+
+/**
+ * Convenience wrapper over alignThreadedStream that collects the full
+ * record vector (input order).
  */
 std::vector<SamRecord>
 alignThreaded(const Sequence &reference,

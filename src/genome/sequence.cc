@@ -44,6 +44,14 @@ Sequence::reverseComplement() const
 }
 
 void
+Sequence::reverseComplementInto(Sequence &out) const
+{
+    out.bases_.resize(bases_.size());
+    for (size_t i = 0; i < bases_.size(); ++i)
+        out.bases_[bases_.size() - 1 - i] = complement(bases_[i]);
+}
+
+void
 Sequence::append(const Sequence &other)
 {
     bases_.insert(bases_.end(), other.bases_.begin(), other.bases_.end());

@@ -54,6 +54,10 @@ class Sequence
     /** Reverse complement (N stays N). */
     Sequence reverseComplement() const;
 
+    /** Reverse complement into caller-owned storage (the recycled,
+     *  zero-allocation form once `out` has grown to capacity). */
+    void reverseComplementInto(Sequence &out) const;
+
     /** In-place append of another sequence. */
     void append(const Sequence &other);
 

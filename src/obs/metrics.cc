@@ -147,6 +147,16 @@ MetricsSnapshot::counterValue(const std::string &name) const
     return 0;
 }
 
+std::pair<int64_t, int64_t>
+MetricsSnapshot::gaugeValue(const std::string &name) const
+{
+    for (const auto &[n, v] : gauges) {
+        if (n == name)
+            return v;
+    }
+    return {0, 0};
+}
+
 const HistogramSummary *
 MetricsSnapshot::findHistogram(const std::string &name) const
 {

@@ -163,6 +163,8 @@ struct MetricsSnapshot
     /** Counter value by name; 0 if absent (counters that never fired are
      *  indistinguishable from unregistered ones by design). */
     uint64_t counterValue(const std::string &name) const;
+    /** Gauge (value, high-water) by name; (0, 0) if absent. */
+    std::pair<int64_t, int64_t> gaugeValue(const std::string &name) const;
     const HistogramSummary *findHistogram(const std::string &name) const;
 };
 

@@ -2,8 +2,32 @@
 #define SEEDEX_UTIL_STOPWATCH_H
 
 #include <chrono>
+#include <ctime>
 
 namespace seedex {
+
+/**
+ * CPU seconds consumed by the calling thread so far (thread CPU clock).
+ *
+ * This is the measurement the thread-scaling model is built on: on an
+ * oversubscribed host (more worker threads than cores) wall-clock time
+ * says nothing about per-stage cost because every stopwatch interval
+ * includes time the thread spent preempted. The thread CPU clock charges
+ * a thread only for cycles it actually ran, so producer/consumer cost
+ * stays comparable across thread counts. Returns 0 where the POSIX
+ * per-thread clock is unavailable (callers must treat 0 as "no data").
+ */
+inline double
+threadCpuSeconds()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    return 0.0;
+}
 
 /**
  * Monotonic wall-clock stopwatch used by the pipeline timing model and the

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "aligner/pipeline.h"
 #include "aligner/timing_model.h"
 #include "genome/read_sim.h"
@@ -143,6 +146,169 @@ TEST(Chaining, AnchorIsLongestSeed)
     chain.seeds = {{0, 20, 0, false, 1}, {30, 45, 30, false, 1},
                    {80, 21, 80, false, 1}};
     EXPECT_EQ(chain.anchor().len, 45);
+}
+
+/**
+ * The pre-retirement greedy pass, kept verbatim as the oracle: scans
+ * every chain ever opened, newest first (worst-case quadratic on
+ * repeat-dense reads). The production chainSeeds must stay bit-identical
+ * while only scanning the active window.
+ */
+std::vector<Chain>
+oracleChainSeeds(const std::vector<Seed> &seeds,
+                 const ChainingParams &params)
+{
+    const auto compatible = [&](const Seed &last, const Seed &seed) {
+        if (seed.reverse != last.reverse)
+            return false;
+        if (seed.rbeg < last.rbeg)
+            return false;
+        const int64_t rgap = static_cast<int64_t>(seed.rbeg) -
+                             static_cast<int64_t>(last.rend());
+        const int qgap = seed.qbeg - last.qend();
+        if (rgap > params.max_gap || qgap > params.max_gap)
+            return false;
+        if (std::llabs(seed.diagonal() - last.diagonal()) >
+            params.max_diag_diff)
+            return false;
+        return seed.qend() > last.qend();
+    };
+    const auto chainWeight = [](const Chain &chain) {
+        int weight = 0;
+        int covered_to = -1;
+        for (const Seed &s : chain.seeds) {
+            const int from = std::max(s.qbeg, covered_to);
+            if (s.qend() > from)
+                weight += s.qend() - from;
+            covered_to = std::max(covered_to, s.qend());
+        }
+        return weight;
+    };
+    std::vector<Chain> chains;
+    for (const Seed &seed : seeds) {
+        Chain *home = nullptr;
+        for (auto it = chains.rbegin(); it != chains.rend(); ++it) {
+            if (it->reverse == seed.reverse &&
+                compatible(it->seeds.back(), seed)) {
+                home = &*it;
+                break;
+            }
+        }
+        if (home) {
+            home->seeds.push_back(seed);
+        } else {
+            Chain chain;
+            chain.reverse = seed.reverse;
+            chain.seeds.push_back(seed);
+            chains.push_back(std::move(chain));
+        }
+    }
+    for (Chain &chain : chains)
+        chain.weight = chainWeight(chain);
+    std::sort(chains.begin(), chains.end(),
+              [](const Chain &a, const Chain &b) {
+                  return a.weight > b.weight;
+              });
+    std::vector<Chain> kept;
+    for (Chain &chain : chains) {
+        if (kept.size() >= params.max_chains)
+            break;
+        if (!kept.empty() &&
+            chain.weight <
+                params.drop_ratio * static_cast<double>(kept[0].weight))
+            break;
+        bool masked = false;
+        for (const Chain &strong : kept) {
+            const int lo = std::max(chain.qbeg(), strong.qbeg());
+            const int hi = std::min(chain.qend(), strong.qend());
+            const int overlap = std::max(0, hi - lo);
+            const int span = chain.qend() - chain.qbeg();
+            if (span > 0 &&
+                overlap > params.mask_level * static_cast<double>(span) &&
+                chain.weight < strong.weight) {
+                masked = true;
+                break;
+            }
+        }
+        if (!masked)
+            kept.push_back(std::move(chain));
+    }
+    return kept;
+}
+
+/** Seed lists shaped like a repeat-heavy read: many distant loci per
+ *  strand, seeds sorted (forward block then reverse block, rbeg-sorted
+ *  within each) exactly as collectSeeds emits them. */
+std::vector<Seed>
+repeatHeavySeeds(Rng &rng, int loci_per_strand, int seeds_per_locus)
+{
+    std::vector<Seed> seeds;
+    for (int strand = 0; strand < 2; ++strand) {
+        uint64_t rbeg = 500 + rng.pick(200);
+        for (int l = 0; l < loci_per_strand; ++l) {
+            int qbeg = static_cast<int>(rng.pick(30));
+            for (int k = 0; k < seeds_per_locus; ++k) {
+                seeds.push_back({qbeg, 19, rbeg, strand == 1,
+                                 static_cast<int>(rng.pick(40)) + 1});
+                qbeg += 10 + static_cast<int>(rng.pick(15));
+                rbeg += 10 + rng.pick(15);
+            }
+            rbeg += 5000 + rng.pick(1000); // next locus: out of max_gap
+        }
+    }
+    return seeds;
+}
+
+TEST(Chaining, RetirementBitIdenticalOnRepeatHeavyReads)
+{
+    // The active-window scan must retire chains aggressively on this
+    // workload (hundreds of dead loci) yet keep the output — including
+    // chain order and every seed — identical to the full-scan oracle.
+    Rng rng(211);
+    ChainingParams params;
+    for (int it = 0; it < 50; ++it) {
+        const auto seeds = repeatHeavySeeds(rng, 40, 4);
+        const auto expected = oracleChainSeeds(seeds, params);
+        const auto got = chainSeeds(seeds, params);
+        ASSERT_EQ(got.size(), expected.size()) << "iteration " << it;
+        for (size_t c = 0; c < got.size(); ++c) {
+            EXPECT_EQ(got[c].reverse, expected[c].reverse);
+            EXPECT_EQ(got[c].weight, expected[c].weight);
+            ASSERT_EQ(got[c].seeds.size(), expected[c].seeds.size());
+            for (size_t s = 0; s < got[c].seeds.size(); ++s) {
+                EXPECT_EQ(got[c].seeds[s].qbeg,
+                          expected[c].seeds[s].qbeg);
+                EXPECT_EQ(got[c].seeds[s].rbeg,
+                          expected[c].seeds[s].rbeg);
+                EXPECT_EQ(got[c].seeds[s].len, expected[c].seeds[s].len);
+            }
+        }
+    }
+}
+
+TEST(Chaining, RecycledWorkspaceMatchesFreshCalls)
+{
+    // One workspace + one chain vector reused across many reads (the
+    // producer-thread pattern) must reproduce fresh chainSeeds exactly,
+    // with the spare slots beyond the returned count ignored.
+    Rng rng(213);
+    ChainingParams params;
+    ChainWorkspace ws;
+    std::vector<Chain> recycled;
+    for (int it = 0; it < 30; ++it) {
+        const auto seeds = repeatHeavySeeds(rng, 8 + it % 20, 3);
+        const auto expected = chainSeeds(seeds, params);
+        const size_t n = chainSeedsInto(seeds, params, ws, recycled);
+        ASSERT_EQ(n, expected.size()) << "iteration " << it;
+        for (size_t c = 0; c < n; ++c) {
+            EXPECT_EQ(recycled[c].weight, expected[c].weight);
+            ASSERT_EQ(recycled[c].seeds.size(),
+                      expected[c].seeds.size());
+            for (size_t s = 0; s < expected[c].seeds.size(); ++s)
+                EXPECT_EQ(recycled[c].seeds[s].rbeg,
+                          expected[c].seeds[s].rbeg);
+        }
+    }
 }
 
 // ------------------------------------------------------ End-to-end pipeline

@@ -108,6 +108,38 @@ SPECS = {
         ],
         headline=[Metric("headline_speedup", True, "ratio")],
     ),
+    "bench_threads": BenchSpec(
+        "bench_threads",
+        tables=[
+            TableSpec(
+                "cells",
+                keys=("threads", "batch"),
+                metrics=[
+                    # Modeled from per-thread CPU time, so portable
+                    # across hosts; still CPU-measured, hence a small
+                    # noise allowance.
+                    Metric("modeled_speedup", True, "ratio",
+                           noise=0.05),
+                    Metric("modeled_efficiency", True, "ratio",
+                           noise=0.05),
+                    # Deterministic publishes/claims plus the (bounded,
+                    # timing-dependent) wakeups — see the ring's audited
+                    # wakeups <= publishes + claims invariant.
+                    Metric("handoff_ops_per_read", False, "ratio",
+                           noise=0.30),
+                    # Recycling effectiveness wobbles with scheduling
+                    # (misses are bounded by the in-flight set).
+                    Metric("pool_hit_rate", True, "ratio", noise=0.25),
+                    Metric("reads_per_s", True, "time", TIME_NOISE),
+                    Metric("wall_seconds", False, "time", TIME_NOISE),
+                ],
+            ),
+        ],
+        headline=[
+            Metric("modeled_speedup_8t", True, "ratio", noise=0.05),
+            Metric("modeled_efficiency_8t", True, "ratio", noise=0.05),
+        ],
+    ),
 }
 
 
@@ -282,6 +314,30 @@ def self_test():
     seed_reg["cells"][0]["occ_calls_per_read"] = 120.0 * 1.15
     regs, _ = compare_docs(seed_base, seed_reg, 0.10, True, out=sink)
     assert regs, "15% occ_calls_per_read growth not detected"
+
+    # Threading spec: a collapse of the modeled 8-thread speedup must
+    # trip the ratios-only CI gate; wall-clock wobble must not.
+    thr_base = {
+        "schema": SCHEMA,
+        "bench": "bench_threads",
+        "cells": [
+            {"threads": 8, "batch": 64, "modeled_speedup": 4.0,
+             "modeled_efficiency": 0.5, "handoff_ops_per_read": 0.04,
+             "pool_hit_rate": 0.9, "reads_per_s": 20000.0,
+             "wall_seconds": 0.3},
+        ],
+        "modeled_speedup_8t": 4.0,
+        "modeled_efficiency_8t": 0.5,
+    }
+    thr_reg = json.loads(json.dumps(thr_base))
+    thr_reg["cells"][0]["modeled_speedup"] = 4.0 * 0.3
+    thr_reg["modeled_speedup_8t"] = 4.0 * 0.3
+    regs, _ = compare_docs(thr_base, thr_reg, 0.60, True, out=sink)
+    assert regs, "70% modeled_speedup collapse not detected at 0.60"
+    thr_wobble = json.loads(json.dumps(thr_base))
+    thr_wobble["cells"][0]["wall_seconds"] = 0.3 * 3.0
+    regs, _ = compare_docs(thr_base, thr_wobble, 0.60, True, out=sink)
+    assert not regs, "--ratios-only compared threading wall clock"
 
     print("bench_compare: self-test PASS")
     return 0

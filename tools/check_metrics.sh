@@ -5,7 +5,10 @@
 # report sections; then runs the kernel bench and validates the
 # align.kernel.* instruments and the BENCH_kernel.json sweep document;
 # then runs the seeding bench and validates the seed.* instruments and
-# the BENCH_seed.json sweep.
+# the BENCH_seed.json sweep; then runs the thread-scaling bench and
+# validates the threaded.* instruments (including the wakeup-audit
+# invariant wakeups <= publishes + claims), the run report's `threading`
+# section, and the BENCH_threads.json sweep.
 #
 # Usage: tools/check_metrics.sh [BUILD_DIR]     (default: build)
 set -euo pipefail
@@ -14,6 +17,7 @@ BUILD_DIR="${1:-build}"
 BENCH="$BUILD_DIR/bench/bench_fig17_end_to_end"
 KERNEL_BENCH="$BUILD_DIR/bench/bench_kernel"
 SEED_BENCH="$BUILD_DIR/bench/bench_seed"
+THREADS_BENCH="$BUILD_DIR/bench/bench_threads"
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 METRICS="$OUT_DIR/metrics.json"
@@ -23,8 +27,10 @@ KERNEL_METRICS="$OUT_DIR/kernel_metrics.json"
 KERNEL_SWEEP="$OUT_DIR/BENCH_kernel.json"
 SEED_METRICS="$OUT_DIR/seed_metrics.json"
 SEED_SWEEP="$OUT_DIR/BENCH_seed.json"
+THREADS_METRICS="$OUT_DIR/threads_metrics.json"
+THREADS_SWEEP="$OUT_DIR/BENCH_threads.json"
 
-for bin in "$BENCH" "$KERNEL_BENCH" "$SEED_BENCH"; do
+for bin in "$BENCH" "$KERNEL_BENCH" "$SEED_BENCH" "$THREADS_BENCH"; do
     if [[ ! -x "$bin" ]]; then
         echo "check_metrics: $bin not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
         exit 1
@@ -259,6 +265,102 @@ print(f"ok: seed.occ_calls={counters['seed.occ_calls']} "
       f"batch latency p50={hist['p50']:.2e}s; "
       f"{len(cells)} sweep cells, "
       f"headline={sweep['headline_speedup']:.2f}x")
+EOF
+
+echo "== running $THREADS_BENCH --quick --metrics-out=$THREADS_METRICS"
+"$THREADS_BENCH" --quick "--out=$THREADS_SWEEP" \
+    "--metrics-out=$THREADS_METRICS" > /dev/null
+
+[[ -s "$THREADS_METRICS" ]] || { echo "FAIL: threads metrics missing/empty" >&2; exit 1; }
+[[ -s "$THREADS_SWEEP" ]] || { echo "FAIL: threads sweep missing/empty" >&2; exit 1; }
+
+echo "== threading instrument checks (python json)"
+python3 - "$THREADS_METRICS" "$THREADS_SWEEP" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["schema"] == "seedex.run_report/v1", report["schema"]
+assert report["bench"] == "bench_threads"
+
+# --- The `threading` section: batch-ring / slab-pool / reorder-buffer
+# telemetry of the report's threaded run (the 8-thread cell).
+thr = report["threading"]
+assert thr["seeding_threads"] >= 1 and thr["fpga_threads"] >= 1
+assert thr["batch_size"] >= 1
+assert thr["producer_cpu_seconds"] > 0
+assert thr["consumer_cpu_seconds"] > 0
+
+queue = thr["queue"]
+assert queue["publishes"] > 0
+assert queue["publishes"] == queue["claims"], queue
+# The wakeup-audit invariant: one lock + at most one (counted) notify
+# per publish/claim, so wakeups can never exceed publishes + claims.
+assert queue["wakeups"] <= queue["publishes"] + queue["claims"], queue
+assert queue["shards"] >= 1
+assert queue["capacity_batches"] >= 1
+assert 0 <= queue["avg_depth"] <= queue["max_depth"] <= \
+    queue["shards"] * queue["capacity_batches"], queue
+
+pool = thr["pool"]
+# Every published batch came from the pool, one way or the other.
+assert pool["hits"] + pool["misses"] == queue["publishes"], (pool, queue)
+assert 0.0 <= pool["hit_rate"] <= 1.0
+
+reorder = thr["reorder"]
+assert reorder["retired"] == queue["publishes"], (reorder, queue)
+assert reorder["max_pending"] >= 1
+
+# --- Registry counters mirror the ring's own tallies across the whole
+# process (>= the report's run: the sweep ran many cells).
+counters = report["metrics"]["counters"]
+for name in ("threaded.queue.publishes", "threaded.queue.claims",
+             "threaded.queue.wakeups", "threaded.pool.hits",
+             "threaded.pool.misses", "threaded.reorder.retired",
+             "threaded.reads", "threaded.batches"):
+    assert name in counters, f"missing counter {name}"
+assert counters["threaded.queue.publishes"] >= queue["publishes"]
+assert counters["threaded.queue.publishes"] == \
+    counters["threaded.queue.claims"]
+assert counters["threaded.queue.wakeups"] <= \
+    counters["threaded.queue.publishes"] + \
+    counters["threaded.queue.claims"]
+assert counters["threaded.pool.hits"] + \
+    counters["threaded.pool.misses"] == \
+    counters["threaded.queue.publishes"]
+assert counters["threaded.reorder.retired"] == \
+    counters["threaded.queue.publishes"]
+
+hists = report["metrics"]["histograms"]
+hist = hists["threaded.batch.wall_seconds"]
+assert hist["count"] == counters["threaded.batches"]
+
+# --- Sweep document: every cell bit-identical, sane ratio columns,
+# and the ISSUE 7 headline (>= 2.5x modeled speedup at 8 threads).
+with open(sys.argv[2]) as f:
+    sweep = json.load(f)
+assert sweep["schema"] == "seedex.bench_sweep/v1", sweep.get("schema")
+assert sweep["bench"] == "bench_threads"
+cells = sweep["cells"]
+assert cells, "empty threading sweep"
+for cell in cells:
+    assert cell["threads"] >= 1 and cell["batch"] >= 1
+    assert cell["identical_to_single_thread"] is True, cell
+    assert cell["modeled_speedup"] > 0
+    assert cell["handoff_ops_per_read"] > 0
+    assert 0.0 <= cell["pool_hit_rate"] <= 1.0
+assert {c["threads"] for c in cells} >= {1, 8}, "sweep lacks 1t/8t cells"
+assert sweep["all_identical"] is True
+assert sweep["modeled_speedup_8t"] >= 2.5, sweep["modeled_speedup_8t"]
+
+print(f"ok: queue publishes={queue['publishes']} "
+      f"wakeups={queue['wakeups']} (bound "
+      f"{queue['publishes'] + queue['claims']}); "
+      f"pool hit rate={pool['hit_rate']:.2f}; "
+      f"reorder retired={reorder['retired']}; "
+      f"{len(cells)} sweep cells, "
+      f"modeled 8t speedup={sweep['modeled_speedup_8t']:.2f}x")
 EOF
 
 echo "check_metrics: PASS"
