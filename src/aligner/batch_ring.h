@@ -63,6 +63,13 @@ struct SeededBatch
     std::vector<SeededRead> items;
     size_t n_items = 0;
 
+    /** Slab-owned read storage for the streaming-source mode: the
+     *  producer swaps pulled reads in here and points items[i].name /
+     *  items[i].read at these vectors instead of at a caller-owned read
+     *  set. Empty (unused) in the vector path. */
+    std::vector<std::string> names;
+    std::vector<Sequence> seqs;
+
     /** Grow the slab to `capacity` reads (idempotent) and mark empty. */
     void
     prepare(size_t capacity)
@@ -70,6 +77,18 @@ struct SeededBatch
         if (items.size() < capacity)
             items.resize(capacity);
         n_items = 0;
+    }
+
+    /** Grow the owned-read storage to `capacity` (idempotent). Recycled
+     *  slabs keep the grown string/sequence capacity, so source-mode
+     *  refills stop allocating once every slab has warmed up. */
+    void
+    ensureOwned(size_t capacity)
+    {
+        if (names.size() < capacity) {
+            names.resize(capacity);
+            seqs.resize(capacity);
+        }
     }
 };
 

@@ -88,8 +88,12 @@ PairedAligner::rescueMate(const std::string &name, const Sequence &mate,
         return rec;
 
     rec.flag = mate_rev ? kSamFlagReverse : 0;
-    rec.rname = "ref";
-    rec.pos = win_beg + static_cast<uint64_t>(aln.ref_begin);
+    const uint64_t global_pos =
+        win_beg + static_cast<uint64_t>(aln.ref_begin);
+    const ContigTable &contigs = config_.pipeline.contigs;
+    const size_t contig = contigs.indexOf(global_pos);
+    rec.rname = contigs.name(contig);
+    rec.pos = contigs.toLocal(contig, global_pos);
     rec.mapq = std::max(0, anchor.mapq - 10);
     rec.score = aln.score;
     rec.seq = oriented.toString();

@@ -107,9 +107,15 @@ makeEngine(const PipelineConfig &config)
 } // namespace
 
 Aligner::Aligner(const Sequence &reference, PipelineConfig config)
-    : ref_(reference), config_(config),
-      index_(std::make_unique<FmdIndex>(reference)),
-      engine_(makeEngine(config))
+    : Aligner(reference, std::move(config), nullptr)
+{}
+
+Aligner::Aligner(const Sequence &reference, PipelineConfig config,
+                 std::unique_ptr<FmdIndex> index)
+    : ref_(reference), config_(std::move(config)),
+      index_(index ? std::move(index)
+                   : std::make_unique<FmdIndex>(reference)),
+      engine_(makeEngine(config_))
 {}
 
 SamRecord
@@ -200,7 +206,7 @@ Aligner::alignSeeded(const std::string &name, const Sequence &read,
             }
         }
         rec = buildSamRecord(name, read, results[best], sub, ref_,
-                             config_.extension.scoring);
+                             config_.extension.scoring, config_.contigs);
         chain_chosen = static_cast<int>(best);
         other_watch.stop();
 

@@ -32,6 +32,9 @@ struct PipelineConfig
     /** Band for Banded/SeedEx engines. */
     int band = 41;
     SeedExConfig seedex;
+    /** Contig dictionary for SAM emission (RNAME/POS resolution); the
+     *  empty default is the legacy single-contig "ref" mode. */
+    ContigTable contigs;
 };
 
 /** Wall-clock seconds per software pipeline stage (Fig. 17 inputs). */
@@ -66,6 +69,12 @@ class Aligner
 {
   public:
     Aligner(const Sequence &reference, PipelineConfig config);
+
+    /** Construct around a prebuilt FM-index (e.g. loaded from a `.sdx`
+     *  cache); `index` must have been built over `reference` and may be
+     *  null, in which case the index is built here. */
+    Aligner(const Sequence &reference, PipelineConfig config,
+            std::unique_ptr<FmdIndex> index);
 
     /** Align one read; stats are accumulated if non-null. Extension jobs
      *  are appended to `capture` (if non-null) for the accelerator

@@ -1,16 +1,81 @@
 #ifndef SEEDEX_ALIGNER_SAM_H
 #define SEEDEX_ALIGNER_SAM_H
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "aligner/extension.h"
 #include "align/cigar.h"
 
 namespace seedex {
 
+/** Tool version stamped into @PG lines and `seedex --version`. */
+inline constexpr const char *kSeedexVersion = "0.8.0";
+
 /** SAM flag bits used by the single-end pipeline. */
 inline constexpr int kSamFlagUnmapped = 0x4;
 inline constexpr int kSamFlagReverse = 0x10;
+
+/** One reference contig as emitted into the SAM header (@SQ). */
+struct SamContig
+{
+    /** SN key: must be whitespace-free (callers pass the first token of
+     *  the FASTA name). */
+    std::string name;
+    /** LN value: contig length in bases. */
+    uint64_t length = 0;
+};
+
+/**
+ * Reference contig dictionary: the aligner works on one concatenated
+ * reference sequence, and this table maps a 0-based global position back
+ * to (contig name, contig-local position) for SAM emission. An empty
+ * table is the legacy single-contig mode: every position resolves to an
+ * implicit contig "ref" spanning the whole reference.
+ */
+class ContigTable
+{
+  public:
+    ContigTable() = default;
+
+    /** Append a contig; its offset is the running total of lengths.
+     *  Throws std::runtime_error on an empty or duplicate name. */
+    void add(std::string name, uint64_t length);
+
+    bool empty() const { return contigs_.empty(); }
+    size_t size() const { return contigs_.size(); }
+    const SamContig &operator[](size_t i) const { return contigs_[i]; }
+    uint64_t totalLength() const;
+
+    /** Index of the contig covering global position `pos` (clamped to
+     *  the last contig; 0 for the empty table). */
+    size_t indexOf(uint64_t global_pos) const;
+
+    /** SN name of contig i ("ref" for the empty table). */
+    const std::string &name(size_t i) const;
+
+    /** Rebase a global position into contig i's local coordinates. */
+    uint64_t toLocal(size_t i, uint64_t global_pos) const;
+
+  private:
+    std::vector<SamContig> contigs_;
+    /** Cumulative start offset of each contig on the global axis. */
+    std::vector<uint64_t> offsets_;
+};
+
+/**
+ * Render the @HD/@SQ/@PG header block (trailing newline included).
+ *
+ * @param contigs Contig dictionary; when empty, one @SQ line for the
+ *   implicit "ref" contig of `reference_length` bases is emitted.
+ * @param reference_length Total reference length (the empty-table LN).
+ * @param program_cl Full command line for the @PG CL: field (omitted
+ *   when empty).
+ */
+std::string renderSamHeader(const ContigTable &contigs,
+                            uint64_t reference_length,
+                            const std::string &program_cl);
 
 /** One single-end SAM alignment record. */
 struct SamRecord
@@ -58,10 +123,13 @@ int approxMapq(int best, int second_best, const Scoring &scoring);
  * @param read The read in sequencing orientation.
  * @param best The winning chain alignment (oriented coordinates).
  * @param second_best Score of the runner-up chain (0 if none).
+ * @param contigs Contig dictionary used to resolve RNAME/POS; the empty
+ *   default keeps the legacy "ref" + global-position behaviour.
  */
 SamRecord buildSamRecord(const std::string &name, const Sequence &read,
                          const ChainAlignment &best, int second_best,
-                         const Sequence &reference, const Scoring &scoring);
+                         const Sequence &reference, const Scoring &scoring,
+                         const ContigTable &contigs = {});
 
 /** An unmapped record for reads with no chains. */
 SamRecord unmappedRecord(const std::string &name, const Sequence &read);

@@ -111,13 +111,30 @@ ThreadedConfig::applyEnv()
         envLong("SEEDEX_QUEUE_SHARDS", static_cast<long>(queue_shards)));
 }
 
+namespace {
+
+/**
+ * The shared pipeline body behind alignThreadedStream (vector feed,
+ * `reads_vec` non-null) and alignThreadedSource (pull feed, `source`
+ * non-null). The two modes differ only in how producers obtain a batch
+ * worth of reads and in where read storage lives (caller's vector vs
+ * the slab's own names/seqs); seeding, the device stages, and the
+ * reorder hand-off are identical.
+ */
 void
-alignThreadedStream(const Sequence &reference,
-                    const std::vector<std::pair<std::string, Sequence>> &reads,
-                    const ThreadedConfig &config, const SamSink &sink,
-                    ThreadedReport *report)
+runThreadedPipeline(const Sequence &reference,
+                    const std::vector<std::pair<std::string, Sequence>>
+                        *reads_vec,
+                    const ReadSource *source, const ThreadedConfig &config,
+                    const SamSink &sink, ThreadedReport *report,
+                    const FmdIndex *external_index)
 {
-    const FmdIndex index(reference);
+    std::unique_ptr<FmdIndex> owned_index;
+    if (external_index == nullptr) {
+        owned_index = std::make_unique<FmdIndex>(reference);
+        external_index = owned_index.get();
+    }
+    const FmdIndex &index = *external_index;
     // The single FPGA: one accelerator instance behind a lock (§V-B:
     // "an FPGA thread acquires a lock to control the FPGA state").
     SeedExConfig filter_cfg = config.pipeline.seedex;
@@ -164,15 +181,29 @@ alignThreadedStream(const Sequence &reference,
     Stopwatch wall;
     wall.start();
 
-    // Size the per-thread DP workspaces once, before any read is touched:
-    // every extension in this run is bounded by the longest read (plus the
-    // band-dependent target window), so the steady state never reallocates.
+    // Vector feed: size the per-thread DP workspaces once, before any
+    // read is touched — every extension in the run is bounded by the
+    // longest read (plus the band-dependent target window), so the
+    // steady state never reallocates. A pull feed has no a-priori
+    // length bound; there each thread grows its workspace per batch
+    // instead (grow-only, so allocation stops once the longest read
+    // length has been seen).
+    const size_t band_slack =
+        static_cast<size_t>(std::max(config.pipeline.band, 0)) + 2;
     size_t max_read_len = 0;
-    for (const auto &read : reads)
-        max_read_len = std::max(max_read_len, read.second.size());
-    const size_t max_target_len =
-        max_read_len + static_cast<size_t>(std::max(config.pipeline.band, 0)) +
-        2;
+    if (reads_vec != nullptr)
+        for (const auto &read : *reads_vec)
+            max_read_len = std::max(max_read_len, read.second.size());
+    const size_t max_target_len = max_read_len + band_slack;
+
+    // Pull-feed state: the source callback runs under this mutex
+    // together with sequence/base assignment, so batch numbering stays
+    // dense and read indices contiguous even though producers
+    // interleave pulls.
+    std::mutex source_mutex;
+    uint64_t source_next_seq = 0;
+    size_t source_next_base = 0;
+    bool source_done = false;
 
     // ---- Producers: seeding + chaining into pooled batch slabs. Each
     // claims a whole batch worth of reads and advances their SMEM
@@ -180,54 +211,125 @@ alignThreadedStream(const Sequence &reference,
     // so the FM-index walks overlap in the memory system; the filled
     // slab is published with a single ring operation.
     const size_t seed_chunk = seedBatchSize();
+    // Seed and chain a slab whose items[i].name/read pointers are
+    // already set: lockstep SMEM searches a seed-chunk at a time so the
+    // FM-index walks overlap in the memory system (identical for both
+    // feeds).
+    auto seed_slab = [&](SeededBatch *batch,
+                         std::vector<const Sequence *> &queries,
+                         std::vector<std::vector<Seed>> &seeds,
+                         SeedWorkspace &ws, ChainWorkspace &cws) {
+        const size_t n = batch->n_items;
+        for (size_t chunk = 0; chunk < n; chunk += seed_chunk) {
+            const size_t m = std::min(seed_chunk, n - chunk);
+            obs::TraceSpan span("threaded.seed_chunk", "threaded");
+            obs::PerfScope perf(threadedProfiles().seed_chunk);
+            for (size_t r = 0; r < m; ++r)
+                queries[r] = batch->items[chunk + r].read;
+            collectSeedsBatch(index, queries.data(), m,
+                              config.pipeline.seeding, ws, seeds);
+            for (size_t r = 0; r < m; ++r) {
+                SeededRead &item = batch->items[chunk + r];
+                item.n_seeds = static_cast<uint32_t>(seeds[r].size());
+                item.n_chains = chainSeedsInto(
+                    seeds[r], config.pipeline.chaining, cws,
+                    item.chains);
+                bool any_reverse = false;
+                for (size_t c = 0; c < item.n_chains; ++c)
+                    any_reverse |= item.chains[c].reverse;
+                if (any_reverse)
+                    item.read->reverseComplementInto(
+                        item.reverse_complement);
+            }
+        }
+    };
+
     auto seeding_worker = [&](size_t producer_id) {
-        DpWorkspace::tls().prepareExtension(max_read_len, max_target_len);
+        if (reads_vec != nullptr)
+            DpWorkspace::tls().prepareExtension(max_read_len,
+                                                max_target_len);
         SeedWorkspace &ws = SeedWorkspace::tls();
         ChainWorkspace &cws = ChainWorkspace::tls();
         std::vector<const Sequence *> queries(seed_chunk);
         std::vector<std::vector<Seed>> seeds(seed_chunk);
+        // Pull-feed buffer, recycled across pulls (the source assigns
+        // into the existing strings/sequences, reusing their capacity).
+        std::vector<std::pair<std::string, Sequence>> pulled;
+        if (source != nullptr)
+            pulled.resize(batch_size);
         const double cpu_begin = threadCpuSeconds();
         for (;;) {
-            const size_t base = next_read.fetch_add(batch_size);
-            if (base >= reads.size())
-                break;
-            const size_t n = std::min(batch_size, reads.size() - base);
-            // Admission control: wait until this sequence number fits the
-            // reorder window BEFORE taking a slab. Published batches are
-            // then inside the window by construction, so consumers never
-            // block in reorder.complete() and always drain the ring (a
-            // consumer parked at the window edge while the head batch sat
-            // unclaimed in another shard would deadlock the run).
-            reorder.reserve(base / batch_size);
-            SeededBatch *batch = pool.acquire();
-            batch->seq = base / batch_size;
-            batch->base = base;
-            batch->n_items = n;
-            for (size_t chunk = 0; chunk < n; chunk += seed_chunk) {
-                const size_t m = std::min(seed_chunk, n - chunk);
-                obs::TraceSpan span("threaded.seed_chunk", "threaded");
-                obs::PerfScope perf(threadedProfiles().seed_chunk);
-                for (size_t r = 0; r < m; ++r)
-                    queries[r] = &reads[base + chunk + r].second;
-                collectSeedsBatch(index, queries.data(), m,
-                                  config.pipeline.seeding, ws, seeds);
-                for (size_t r = 0; r < m; ++r) {
-                    SeededRead &item = batch->items[chunk + r];
-                    item.read_idx = base + chunk + r;
-                    item.name = &reads[item.read_idx].first;
-                    item.read = &reads[item.read_idx].second;
-                    item.n_seeds = static_cast<uint32_t>(seeds[r].size());
-                    item.n_chains = chainSeedsInto(
-                        seeds[r], config.pipeline.chaining, cws,
-                        item.chains);
-                    bool any_reverse = false;
-                    for (size_t c = 0; c < item.n_chains; ++c)
-                        any_reverse |= item.chains[c].reverse;
-                    if (any_reverse)
-                        item.read->reverseComplementInto(
-                            item.reverse_complement);
+            SeededBatch *batch = nullptr;
+            if (reads_vec != nullptr) {
+                const size_t base = next_read.fetch_add(batch_size);
+                if (base >= reads_vec->size())
+                    break;
+                const size_t n =
+                    std::min(batch_size, reads_vec->size() - base);
+                // Admission control: wait until this sequence number
+                // fits the reorder window BEFORE taking a slab.
+                // Published batches are then inside the window by
+                // construction, so consumers never block in
+                // reorder.complete() and always drain the ring (a
+                // consumer parked at the window edge while the head
+                // batch sat unclaimed in another shard would deadlock
+                // the run).
+                reorder.reserve(base / batch_size);
+                batch = pool.acquire();
+                batch->seq = base / batch_size;
+                batch->base = base;
+                batch->n_items = n;
+                for (size_t i = 0; i < n; ++i) {
+                    SeededRead &item = batch->items[i];
+                    item.read_idx = base + i;
+                    item.name = &(*reads_vec)[base + i].first;
+                    item.read = &(*reads_vec)[base + i].second;
                 }
+            } else {
+                size_t n = 0;
+                uint64_t seq = 0;
+                size_t base = 0;
+                {
+                    std::lock_guard<std::mutex> lock(source_mutex);
+                    if (source_done)
+                        break;
+                    n = (*source)(pulled, batch_size);
+                    if (n == 0) {
+                        source_done = true;
+                        break;
+                    }
+                    seq = source_next_seq++;
+                    base = source_next_base;
+                    source_next_base += n;
+                }
+                // Admission control AFTER the pull (the mutex cannot be
+                // held across a blocking reserve). Still deadlock-free:
+                // smaller sequence numbers are always handed out first,
+                // and their holders either block in reserve() on yet
+                // smaller numbers or go on to publish, so the window
+                // head always advances. Blocking here parks only this
+                // producer's pulled reads — memory stays bounded by
+                // producers × batch_size.
+                reorder.reserve(seq);
+                batch = pool.acquire();
+                batch->ensureOwned(batch_size);
+                batch->seq = seq;
+                batch->base = base;
+                batch->n_items = n;
+                size_t longest = 0;
+                for (size_t i = 0; i < n; ++i) {
+                    std::swap(batch->names[i], pulled[i].first);
+                    std::swap(batch->seqs[i], pulled[i].second);
+                    SeededRead &item = batch->items[i];
+                    item.read_idx = base + i;
+                    item.name = &batch->names[i];
+                    item.read = &batch->seqs[i];
+                    longest = std::max(longest, batch->seqs[i].size());
+                }
+                DpWorkspace::tls().prepareExtension(
+                    longest, longest + band_slack);
             }
+            seed_slab(batch, queries, seeds, ws, cws);
             ring.push(batch, producer_id);
         }
         const double cpu = threadCpuSeconds() - cpu_begin;
@@ -238,7 +340,9 @@ alignThreadedStream(const Sequence &reference,
     // ---- Consumers: FPGA threads (batch, extend, post-process).
     const ExtensionParams &xp = config.pipeline.extension;
     auto fpga_worker = [&](size_t consumer_id) {
-        DpWorkspace::tls().prepareExtension(max_read_len, max_target_len);
+        if (reads_vec != nullptr)
+            DpWorkspace::tls().prepareExtension(max_read_len,
+                                                max_target_len);
         // Per-consumer scratch, recycled across batches.
         struct Slot
         {
@@ -260,6 +364,14 @@ alignThreadedStream(const Sequence &reference,
             if (claimed == nullptr)
                 break;
             SeededBatch &batch = *claimed;
+            if (source != nullptr) {
+                size_t longest = 0;
+                for (size_t i = 0; i < batch.n_items; ++i)
+                    longest = std::max(longest,
+                                       batch.items[i].read->size());
+                DpWorkspace::tls().prepareExtension(
+                    longest, longest + band_slack);
+            }
             obs::TraceSpan batch_span("threaded.fpga_batch", "threaded");
             obs::PerfScope batch_perf(threadedProfiles().fpga_batch);
             Stopwatch batch_watch;
@@ -483,7 +595,8 @@ alignThreadedStream(const Sequence &reference,
                 slots[best].aln.score = slots[best].score;
                 recs[i] = buildSamRecord(*item.name, *item.read,
                                          slots[best].aln, sub, reference,
-                                         xp.scoring);
+                                         xp.scoring,
+                                         config.pipeline.contigs);
                 if (rec != nullptr) {
                     rec->chain_chosen = static_cast<int>(best - s);
                     rec->score = recs[i].score;
@@ -540,10 +653,12 @@ alignThreadedStream(const Sequence &reference,
         m.extensions.inc(extensions);
         m.reruns.inc(reruns);
     }
+    const size_t total_reads =
+        reads_vec != nullptr ? reads_vec->size() : source_next_base;
     SEEDEX_LOG(Info, "threaded",
                "%zu reads in %.3f s (%d seeding + %d fpga threads, %llu "
                "batches, %llu extensions, %llu reruns, %llu wakeups)",
-               reads.size(), wall.seconds(), n_producers, n_consumers,
+               total_reads, wall.seconds(), n_producers, n_consumers,
                static_cast<unsigned long long>(batches.load()),
                static_cast<unsigned long long>(extensions.load()),
                static_cast<unsigned long long>(reruns.load()),
@@ -551,7 +666,7 @@ alignThreadedStream(const Sequence &reference,
 
     if (report) {
         report->wall_seconds = wall.seconds();
-        report->reads = reads.size();
+        report->reads = total_reads;
         report->batches = batches;
         report->extensions = extensions;
         report->reruns = reruns;
@@ -579,6 +694,27 @@ alignThreadedStream(const Sequence &reference,
         report->reorder.retired = reorder.retired();
         report->reorder.max_pending = reorder.maxPending();
     }
+}
+
+} // namespace
+
+void
+alignThreadedStream(const Sequence &reference,
+                    const std::vector<std::pair<std::string, Sequence>> &reads,
+                    const ThreadedConfig &config, const SamSink &sink,
+                    ThreadedReport *report, const FmdIndex *index)
+{
+    runThreadedPipeline(reference, &reads, nullptr, config, sink, report,
+                        index);
+}
+
+void
+alignThreadedSource(const Sequence &reference, const ReadSource &source,
+                    const ThreadedConfig &config, const SamSink &sink,
+                    ThreadedReport *report, const FmdIndex *index)
+{
+    runThreadedPipeline(reference, nullptr, &source, config, sink, report,
+                        index);
 }
 
 std::vector<SamRecord>

@@ -114,18 +114,47 @@ struct ThreadedReport
 using SamSink = std::function<void(size_t read_idx, SamRecord &&rec)>;
 
 /**
+ * Pull-style read supplier for alignThreadedSource. `out` has at least
+ * `max` elements on entry; the supplier overwrites out[0..n) (assigning
+ * into the recycled strings/sequences, so their capacity is reused) and
+ * returns n. Returning 0 ends the stream. Called under an internal
+ * pipeline mutex, so implementations need no locking of their own, and
+ * successive calls see strictly increasing file positions.
+ */
+using ReadSource = std::function<size_t(
+    std::vector<std::pair<std::string, Sequence>> &out, size_t max)>;
+
+/**
  * Align a read set with the producer-consumer pipeline, streaming each
  * record to `sink` in input order as soon as its batch retires from the
  * reorder window (memory stays bounded by the in-flight window, not the
  * read count). Records are bit-identical to the single-threaded
  * full-band pipeline. The sink runs on consumer threads but is never
- * called concurrently.
+ * called concurrently. `index` lets the caller supply a prebuilt
+ * FM-index of `reference` (e.g. loaded from a `.sdx` container); when
+ * null the pipeline builds its own.
  */
 void
 alignThreadedStream(const Sequence &reference,
                     const std::vector<std::pair<std::string, Sequence>> &reads,
                     const ThreadedConfig &config, const SamSink &sink,
-                    ThreadedReport *report = nullptr);
+                    ThreadedReport *report = nullptr,
+                    const FmdIndex *index = nullptr);
+
+/**
+ * Streaming variant of alignThreadedStream: reads are pulled from
+ * `source` batch by batch instead of handed over as one vector, so peak
+ * memory is bounded by the in-flight window regardless of input size.
+ * Producers pull under a shared mutex, swap the pulled reads into
+ * slab-owned storage, and proceed exactly like the vector path; output
+ * order and record content are identical. Read indices passed to `sink`
+ * count from 0 in pull order.
+ */
+void
+alignThreadedSource(const Sequence &reference, const ReadSource &source,
+                    const ThreadedConfig &config, const SamSink &sink,
+                    ThreadedReport *report = nullptr,
+                    const FmdIndex *index = nullptr);
 
 /**
  * Convenience wrapper over alignThreadedStream that collects the full

@@ -1,0 +1,552 @@
+#include "apps/cli.h"
+
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aligner/pipeline.h"
+#include "aligner/sam.h"
+#include "aligner/threaded.h"
+#include "fmindex/fmd_index.h"
+#include "fmindex/sdx.h"
+#include "genome/fasta.h"
+#include "genome/fastx_stream.h"
+#include "genome/read_sim.h"
+#include "genome/reference.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace seedex {
+
+namespace {
+
+/** Thrown for command-line mistakes (mapped to exit code 2). */
+class UsageError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+const char kUsage[] =
+    "usage: seedex <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  index <ref.fa> -o <ref.sdx>          build a checksummed index\n"
+    "  align <ref.sdx|ref.fa> <reads.fq>    align reads, SAM on stdout\n"
+    "  simulate -o <prefix>                 write a synthetic ref + reads\n"
+    "\n"
+    "align options (env-knob equivalents in parentheses):\n"
+    "  -o FILE             SAM output path (default: stdout)\n"
+    "  --engine=NAME       fullband | banded | seedex   [seedex]\n"
+    "  --band=N            band width for banded/seedex engines\n"
+    "  --threads=N         total worker threads (SEEDEX_THREADS); 1 =\n"
+    "                      single-threaded in-process pipeline\n"
+    "  --seeding-threads=N / --fpga-threads=N  explicit 3:1 split override\n"
+    "  --batch=N           reads per pipeline batch (SEEDEX_BATCH)\n"
+    "  --queue-cap=N       ring capacity per shard (SEEDEX_QUEUE_CAP)\n"
+    "  --queue-shards=N    ring shards (SEEDEX_QUEUE_SHARDS)\n"
+    "  --kernel=NAME       scalar | sse | avx2 (SEEDEX_KERNEL)\n"
+    "  --fm-layout=NAME    naive | packed (SEEDEX_FM_LAYOUT)\n"
+    "  --kmer=K            seed k-mer table size (SEEDEX_SEED_KMER)\n"
+    "  --metrics-out=FILE  machine-readable run report (SEEDEX_METRICS_OUT)\n"
+    "  --trace-out=FILE    Chrome trace (SEEDEX_TRACE)\n"
+    "  --ledger-out=FILE   per-read provenance JSONL (SEEDEX_LEDGER_OUT)\n"
+    "  --ledger-sample=N   ledger sampling stride (SEEDEX_LEDGER_SAMPLE)\n"
+    "\n"
+    "simulate options:\n"
+    "  --length=N          reference length in bases        [1048576]\n"
+    "  --reads=N           number of reads                  [10000]\n"
+    "  --read-length=N     read length in bases             [101]\n"
+    "  --seed=N            random seed                      [20200613]\n"
+    "\n"
+    "index options:\n"
+    "  --kmer=K            seed k-mer table size baked at load time\n";
+
+/** Parsed command line: positional operands plus --name[=value] flags
+ *  (`-o FILE` is folded into flags["-o"]). */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    bool has(const std::string &name) const { return flags.count(name) > 0; }
+
+    std::string
+    get(const std::string &name, const std::string &fallback = {}) const
+    {
+        auto it = flags.find(name);
+        return it == flags.end() ? fallback : it->second;
+    }
+
+    /** Flag value, falling back to an environment variable, then "". */
+    std::string
+    getOrEnv(const std::string &name, const char *env) const
+    {
+        auto it = flags.find(name);
+        if (it != flags.end())
+            return it->second;
+        if (const char *v = std::getenv(env))
+            return v;
+        return {};
+    }
+
+    long
+    getLong(const std::string &name, long fallback) const
+    {
+        auto it = flags.find(name);
+        if (it == flags.end())
+            return fallback;
+        char *end = nullptr;
+        const long n = std::strtol(it->second.c_str(), &end, 10);
+        if (end == it->second.c_str() || *end != '\0')
+            throw UsageError(name + " expects an integer, got '" +
+                             it->second + "'");
+        return n;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv, int first,
+          const std::vector<std::string> &known)
+{
+    Args args;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o") {
+            if (i + 1 >= argc)
+                throw UsageError("-o expects a file path");
+            args.flags["-o"] = argv[++i];
+        } else if (arg.rfind("--", 0) == 0) {
+            const size_t eq = arg.find('=');
+            const std::string name = arg.substr(0, eq);
+            bool ok = false;
+            for (const std::string &k : known)
+                ok |= (k == name);
+            if (!ok)
+                throw UsageError("unknown option " + name);
+            args.flags[name] =
+                eq == std::string::npos ? "" : arg.substr(eq + 1);
+        } else {
+            args.positional.push_back(arg);
+        }
+    }
+    return args;
+}
+
+/** Forward a CLI flag into the env knob the subsystem reads lazily
+ *  (kernel dispatch, FM layout, and the k-mer table are all resolved
+ *  on first use, so setting the variable up front is equivalent). */
+void
+exportKnob(const Args &args, const std::string &flag, const char *env)
+{
+    if (args.has(flag))
+        setenv(env, args.get(flag).c_str(), 1);
+}
+
+/** First whitespace-delimited token of a FASTA name: the @SQ SN: key
+ *  (SN values must be whitespace-free per the SAM spec). */
+std::string
+contigToken(const std::string &name)
+{
+    const size_t ws = name.find_first_of(" \t");
+    return ws == std::string::npos ? name : name.substr(0, ws);
+}
+
+/** The reference as the aligner consumes it: one concatenated sequence
+ *  plus the contig dictionary for SAM emission. */
+struct Reference
+{
+    ContigTable contigs;
+    std::vector<SdxContig> sdx_contigs;
+    Sequence seq;
+    std::unique_ptr<FmdIndex> index; ///< null until built/loaded
+};
+
+/** Stream a FASTA file into a Reference (no index yet). */
+Reference
+loadFasta(const std::string &path)
+{
+    Reference ref;
+    FastaReader reader(path);
+    FastaRecord rec;
+    std::vector<Base> all;
+    while (reader.next(rec)) {
+        const std::string token = contigToken(rec.name);
+        // FastaReader rejects duplicate full names; tokenized SN keys
+        // can still collide ("chr1 a" vs "chr1 b"), which add() rejects.
+        ref.contigs.add(token, rec.seq.size());
+        ref.sdx_contigs.push_back({token, rec.seq.size()});
+        all.insert(all.end(), rec.seq.bases().begin(),
+                   rec.seq.bases().end());
+    }
+    if (all.empty())
+        throw std::runtime_error(path + ": no sequences found");
+    ref.seq = Sequence(std::move(all));
+    return ref;
+}
+
+/** Load either a `.sdx` container or a plain FASTA reference. */
+Reference
+loadReference(const std::string &path)
+{
+    if (isSdxFile(path)) {
+        SdxData data = loadSdx(path);
+        Reference ref;
+        for (const SdxContig &c : data.contigs) {
+            ref.contigs.add(c.name, c.length);
+            ref.sdx_contigs.push_back(c);
+        }
+        ref.seq = std::move(data.reference);
+        ref.index = std::move(data.index);
+        return ref;
+    }
+    return loadFasta(path);
+}
+
+EngineKind
+parseEngine(const std::string &name)
+{
+    if (name == "fullband")
+        return EngineKind::FullBand;
+    if (name == "banded")
+        return EngineKind::Banded;
+    if (name == "seedex")
+        return EngineKind::SeedEx;
+    throw UsageError("unknown engine '" + name +
+                     "' (expected fullband, banded, or seedex)");
+}
+
+std::string
+joinArgv(int argc, char **argv)
+{
+    std::string cl;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0)
+            cl += ' ';
+        cl += argv[i];
+    }
+    return cl;
+}
+
+// ---- seedex index -------------------------------------------------------
+
+int
+cmdIndex(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv, 2, {"--kmer", "--fm-layout"});
+    if (args.positional.size() != 1)
+        throw UsageError("index expects exactly one reference FASTA");
+    if (!args.has("-o"))
+        throw UsageError("index requires -o <ref.sdx>");
+    exportKnob(args, "--kmer", "SEEDEX_SEED_KMER");
+    exportKnob(args, "--fm-layout", "SEEDEX_FM_LAYOUT");
+
+    Reference ref = loadFasta(args.positional[0]);
+    Stopwatch watch;
+    watch.start();
+    const FmdIndex index(ref.seq);
+    watch.stop();
+    saveSdx(args.get("-o"), ref.sdx_contigs, ref.seq, index);
+    std::cerr << strprintf(
+        "seedex index: %zu contig(s), %zu bases -> %s (built in %.2f s)\n",
+        ref.contigs.size(), ref.seq.size(), args.get("-o").c_str(),
+        watch.seconds());
+    return 0;
+}
+
+// ---- seedex align -------------------------------------------------------
+
+/** How many reads the single-threaded path pulls per alignBatch call
+ *  (bounds memory to one chunk while keeping lockstep seeding fed). */
+constexpr size_t kAlignChunk = 1024;
+
+int
+cmdAlign(int argc, char **argv)
+{
+    const Args args = parseArgs(
+        argc, argv, 2,
+        {"--engine", "--band", "--threads", "--seeding-threads",
+         "--fpga-threads", "--batch", "--queue-cap", "--queue-shards",
+         "--kernel", "--fm-layout", "--kmer", "--metrics-out",
+         "--trace-out", "--ledger-out", "--ledger-sample"});
+    if (args.positional.size() != 2)
+        throw UsageError("align expects <ref.sdx|ref.fa> <reads.fq>");
+    exportKnob(args, "--kernel", "SEEDEX_KERNEL");
+    exportKnob(args, "--fm-layout", "SEEDEX_FM_LAYOUT");
+    exportKnob(args, "--kmer", "SEEDEX_SEED_KMER");
+
+    const std::string &reads_path = args.positional[1];
+
+    // Validate every flag before touching the filesystem, so a typo is
+    // a usage error (exit 2) even when the inputs are also unreadable.
+    PipelineConfig pconfig;
+    pconfig.engine = parseEngine(args.get("--engine", "seedex"));
+    pconfig.band = static_cast<int>(
+        args.getLong("--band", pconfig.band));
+
+    // Threading shape: env knobs first (ThreadedConfig::applyEnv), then
+    // flags override. --threads picks the paper's 3:1 split; the
+    // explicit per-side flags override that.
+    ThreadedConfig tconfig;
+    tconfig.applyEnv();
+    long threads = 1;
+    if (const char *v = std::getenv("SEEDEX_THREADS"))
+        threads = std::max(1L, std::strtol(v, nullptr, 10));
+    threads = std::max(1L, args.getLong("--threads", threads));
+    tconfig.seeding_threads =
+        static_cast<int>(std::max<long>(1, (threads * 3) / 4));
+    tconfig.fpga_threads = static_cast<int>(
+        std::max<long>(1, threads - tconfig.seeding_threads));
+    tconfig.seeding_threads = static_cast<int>(args.getLong(
+        "--seeding-threads", tconfig.seeding_threads));
+    tconfig.fpga_threads = static_cast<int>(
+        args.getLong("--fpga-threads", tconfig.fpga_threads));
+    tconfig.batch_size = static_cast<size_t>(args.getLong(
+        "--batch", static_cast<long>(tconfig.batch_size)));
+    tconfig.queue_capacity = static_cast<size_t>(args.getLong(
+        "--queue-cap", static_cast<long>(tconfig.queue_capacity)));
+    tconfig.queue_shards = static_cast<int>(args.getLong(
+        "--queue-shards", tconfig.queue_shards));
+
+    bool threaded = threads > 1 || args.has("--seeding-threads") ||
+        args.has("--fpga-threads");
+    // The threaded path always drives the SeedEx device pipeline (its
+    // output is bit-identical to fullband by the optimality guarantee);
+    // the unguaranteed banded engine only exists single-threaded.
+    if (threaded && pconfig.engine == EngineKind::Banded) {
+        std::cerr << "seedex align: --engine=banded is single-threaded; "
+                     "ignoring --threads\n";
+        threaded = false;
+    }
+
+    // Observability passthrough (same contract as the bench binaries):
+    // enabling trace/ledger must happen before the run, writing after.
+    const std::string metrics_out =
+        args.getOrEnv("--metrics-out", "SEEDEX_METRICS_OUT");
+    const std::string trace_out =
+        args.getOrEnv("--trace-out", "SEEDEX_TRACE");
+    const std::string ledger_out =
+        args.getOrEnv("--ledger-out", "SEEDEX_LEDGER_OUT");
+    if (!trace_out.empty())
+        obs::TraceSession::global().enable();
+    if (!ledger_out.empty()) {
+        const long sample = std::max(
+            1L, args.getLong("--ledger-sample", 1));
+        obs::Ledger::global().clear();
+        obs::Ledger::global().enable(static_cast<uint32_t>(sample));
+    }
+
+    Reference ref = loadReference(args.positional[0]);
+    pconfig.contigs = ref.contigs;
+    tconfig.pipeline = pconfig;
+
+    std::ofstream file_out;
+    if (args.has("-o")) {
+        file_out.open(args.get("-o"), std::ios::binary | std::ios::trunc);
+        if (!file_out)
+            throw std::runtime_error(args.get("-o") +
+                                     ": cannot open for writing");
+    }
+    std::ostream &out = args.has("-o") ? file_out : std::cout;
+
+    out << renderSamHeader(ref.contigs, ref.seq.size(),
+                           joinArgv(argc, argv));
+
+    Stopwatch wall;
+    wall.start();
+    uint64_t total_reads = 0;
+    ThreadedReport treport;
+    if (!threaded) {
+        Aligner aligner(ref.seq, pconfig, std::move(ref.index));
+        FastqReader reader(reads_path);
+        FastqRecord rec;
+        std::vector<std::pair<std::string, Sequence>> chunk;
+        chunk.reserve(kAlignChunk);
+        for (;;) {
+            chunk.clear();
+            while (chunk.size() < kAlignChunk && reader.next(rec))
+                chunk.emplace_back(std::move(rec.name),
+                                   std::move(rec.seq));
+            if (chunk.empty())
+                break;
+            for (SamRecord &sam : aligner.alignBatch(chunk))
+                out << sam.render() << '\n';
+            total_reads += chunk.size();
+        }
+    } else {
+        FastqReader reader(reads_path);
+        FastqRecord rec;
+        // The source runs on producer threads; a parse error must not
+        // unwind through the pipeline, so it ends the stream and is
+        // rethrown after the workers have drained and joined.
+        std::exception_ptr read_error;
+        ReadSource source =
+            [&](std::vector<std::pair<std::string, Sequence>> &pulled,
+                size_t max) -> size_t {
+            if (read_error)
+                return 0;
+            size_t n = 0;
+            try {
+                while (n < max && reader.next(rec)) {
+                    pulled[n].first = std::move(rec.name);
+                    pulled[n].second = std::move(rec.seq);
+                    ++n;
+                }
+            } catch (...) {
+                read_error = std::current_exception();
+            }
+            return n;
+        };
+        alignThreadedSource(
+            ref.seq, source, tconfig,
+            [&](size_t, SamRecord &&sam) {
+                out << sam.render() << '\n';
+            },
+            &treport, ref.index.get());
+        total_reads = treport.reads;
+        if (read_error)
+            std::rethrow_exception(read_error);
+    }
+    wall.stop();
+    out.flush();
+    if (args.has("-o") && !file_out)
+        throw std::runtime_error(args.get("-o") +
+                                 ": write failed (disk full?)");
+
+    std::cerr << strprintf(
+        "seedex align: %llu reads in %.2f s (%s)\n",
+        static_cast<unsigned long long>(total_reads), wall.seconds(),
+        threaded ? strprintf("%d seeding + %d fpga threads",
+                             tconfig.seeding_threads,
+                             tconfig.fpga_threads)
+                       .c_str()
+                 : "single-threaded");
+
+    if (!trace_out.empty()) {
+        obs::TraceSession::global().disable();
+        if (!obs::TraceSession::global().writeJson(trace_out))
+            std::cerr << "seedex align: FAILED to write trace to "
+                      << trace_out << "\n";
+    }
+    if (!ledger_out.empty() &&
+        !obs::Ledger::global().writeJsonl(ledger_out))
+        std::cerr << "seedex align: FAILED to write ledger to "
+                  << ledger_out << "\n";
+    if (!metrics_out.empty()) {
+        obs::RunReport report("seedex_align");
+        report.section("run", [&](obs::JsonWriter &w) {
+            w.kv("reads", total_reads);
+            w.kv("wall_seconds", wall.seconds());
+            w.kv("engine", args.get("--engine", "seedex"));
+            w.kv("threads", static_cast<uint64_t>(threads));
+            w.kv("threaded", threaded);
+        });
+        if (threaded) {
+            report.section("threaded", [&](obs::JsonWriter &w) {
+                w.kv("batches", treport.batches);
+                w.kv("extensions", treport.extensions);
+                w.kv("reruns", treport.reruns);
+                w.kv("seeding_threads", treport.seeding_threads);
+                w.kv("fpga_threads", treport.fpga_threads);
+                w.kv("batch_size", treport.batch_size);
+            });
+        }
+        report.addMetrics(obs::MetricsRegistry::global().snapshot());
+        if (!report.write(metrics_out))
+            std::cerr << "seedex align: FAILED to write metrics to "
+                      << metrics_out << "\n";
+    }
+    return 0;
+}
+
+// ---- seedex simulate ----------------------------------------------------
+
+int
+cmdSimulate(int argc, char **argv)
+{
+    const Args args = parseArgs(
+        argc, argv, 2, {"--length", "--reads", "--read-length", "--seed"});
+    if (!args.positional.empty())
+        throw UsageError("simulate takes only options");
+    if (!args.has("-o"))
+        throw UsageError("simulate requires -o <prefix>");
+    const std::string prefix = args.get("-o");
+
+    Rng rng(static_cast<uint64_t>(args.getLong("--seed", 20200613)));
+    ReferenceParams ref_params;
+    ref_params.length =
+        static_cast<size_t>(args.getLong("--length", 1 << 20));
+    const Sequence reference = generateReference(ref_params, rng);
+
+    ReadSimParams sim_params = ReadSimParams::illumina();
+    sim_params.read_length = static_cast<size_t>(
+        args.getLong("--read-length",
+                     static_cast<long>(sim_params.read_length)));
+    ReadSimulator simulator(reference, sim_params);
+    const size_t n_reads =
+        static_cast<size_t>(args.getLong("--reads", 10000));
+
+    writeFastaFile(prefix + ".fa", {{"sim", reference}});
+    std::ofstream fq(prefix + ".fq", std::ios::binary | std::ios::trunc);
+    if (!fq)
+        throw std::runtime_error(prefix + ".fq: cannot open for writing");
+    std::string qual;
+    for (size_t i = 0; i < n_reads; ++i) {
+        const SimulatedRead read = simulator.simulate(rng, i);
+        qual.assign(read.seq.size(), 'I');
+        fq << '@' << read.name << '\n'
+           << read.seq.toString() << '\n'
+           << "+\n"
+           << qual << '\n';
+    }
+    if (!fq.flush())
+        throw std::runtime_error(prefix + ".fq: write failed");
+    std::cerr << strprintf(
+        "seedex simulate: %zu bp reference, %zu reads -> %s.{fa,fq}\n",
+        reference.size(), n_reads, prefix.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+runCli(int argc, char **argv)
+{
+    try {
+        if (argc < 2)
+            throw UsageError("no command given");
+        const std::string cmd = argv[1];
+        if (cmd == "--version" || cmd == "version") {
+            std::cout << "seedex " << kSeedexVersion << "\n";
+            return 0;
+        }
+        if (cmd == "--help" || cmd == "help" || cmd == "-h") {
+            std::cout << kUsage;
+            return 0;
+        }
+        if (cmd == "index")
+            return cmdIndex(argc, argv);
+        if (cmd == "align")
+            return cmdAlign(argc, argv);
+        if (cmd == "simulate")
+            return cmdSimulate(argc, argv);
+        throw UsageError("unknown command '" + cmd + "'");
+    } catch (const UsageError &e) {
+        std::cerr << "seedex: " << e.what() << "\n\n" << kUsage;
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "seedex: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace seedex

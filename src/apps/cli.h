@@ -1,0 +1,17 @@
+#ifndef SEEDEX_APPS_CLI_H
+#define SEEDEX_APPS_CLI_H
+
+namespace seedex {
+
+/**
+ * Entry point of the `seedex` binary, exposed as a function so tests
+ * can drive the CLI in-process (same argv contract as main()).
+ *
+ * Exit codes: 0 success, 1 runtime/data error (unreadable input,
+ * corrupt index, malformed FASTQ, ...), 2 usage error.
+ */
+int runCli(int argc, char **argv);
+
+} // namespace seedex
+
+#endif // SEEDEX_APPS_CLI_H

@@ -1,0 +1,7 @@
+#include "apps/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    return seedex::runCli(argc, argv);
+}

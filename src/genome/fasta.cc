@@ -5,45 +5,23 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "genome/fastx_stream.h"
+
 namespace seedex {
 
-namespace {
-
-/** Trim a trailing carriage return (Windows-style line endings). */
-void
-chomp(std::string &line)
-{
-    if (!line.empty() && line.back() == '\r')
-        line.pop_back();
-}
-
-} // namespace
+// The slurp conveniences are thin collectors over the streaming readers
+// (fastx_stream.h), so validation — blank-line handling in every record
+// slot, empty/duplicate contig names, record-indexed error messages —
+// lives in exactly one parser.
 
 std::vector<FastaRecord>
 readFasta(std::istream &in)
 {
     std::vector<FastaRecord> records;
-    std::string line;
-    std::string body;
-    auto flush = [&] {
-        if (!records.empty())
-            records.back().seq = Sequence::fromString(body);
-        body.clear();
-    };
-    while (std::getline(in, line)) {
-        chomp(line);
-        if (line.empty())
-            continue;
-        if (line[0] == '>') {
-            flush();
-            records.push_back({line.substr(1), {}});
-        } else {
-            if (records.empty())
-                throw std::runtime_error("FASTA: sequence before header");
-            body += line;
-        }
-    }
-    flush();
+    FastaReader reader(in);
+    FastaRecord rec;
+    while (reader.next(rec))
+        records.push_back(std::move(rec));
     return records;
 }
 
@@ -51,27 +29,10 @@ std::vector<FastqRecord>
 readFastq(std::istream &in)
 {
     std::vector<FastqRecord> records;
-    std::string header, bases, plus, qual;
-    while (std::getline(in, header)) {
-        chomp(header);
-        if (header.empty())
-            continue;
-        if (header[0] != '@')
-            throw std::runtime_error("FASTQ: expected '@' header");
-        if (!std::getline(in, bases) || !std::getline(in, plus) ||
-            !std::getline(in, qual)) {
-            throw std::runtime_error("FASTQ: truncated record");
-        }
-        chomp(bases);
-        chomp(plus);
-        chomp(qual);
-        if (plus.empty() || plus[0] != '+')
-            throw std::runtime_error("FASTQ: expected '+' separator");
-        if (qual.size() != bases.size())
-            throw std::runtime_error("FASTQ: quality length mismatch");
-        records.push_back(
-            {header.substr(1), Sequence::fromString(bases), qual});
-    }
+    FastqReader reader(in);
+    FastqRecord rec;
+    while (reader.next(rec))
+        records.push_back(std::move(rec));
     return records;
 }
 
@@ -101,19 +62,23 @@ writeFastq(std::ostream &out, const std::vector<FastqRecord> &records)
 std::vector<FastaRecord>
 readFastaFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        throw std::runtime_error("cannot open FASTA file: " + path);
-    return readFasta(in);
+    std::vector<FastaRecord> records;
+    FastaReader reader(path);
+    FastaRecord rec;
+    while (reader.next(rec))
+        records.push_back(std::move(rec));
+    return records;
 }
 
 std::vector<FastqRecord>
 readFastqFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        throw std::runtime_error("cannot open FASTQ file: " + path);
-    return readFastq(in);
+    std::vector<FastqRecord> records;
+    FastqReader reader(path);
+    FastqRecord rec;
+    while (reader.next(rec))
+        records.push_back(std::move(rec));
+    return records;
 }
 
 void

@@ -1,0 +1,145 @@
+#ifndef SEEDEX_GENOME_FASTX_STREAM_H
+#define SEEDEX_GENOME_FASTX_STREAM_H
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "genome/fasta.h"
+
+namespace seedex {
+
+/**
+ * Chunked line scanner: the shared substrate of the streaming FASTA and
+ * FASTQ readers. Reads the underlying stream through a fixed-size chunk
+ * buffer (never the whole file), tolerates CRLF line endings, and keeps
+ * 64-bit line/byte accounting so diagnostics stay correct past the 4 GiB
+ * mark of a large read file.
+ *
+ * Memory bound: one chunk (kChunkBytes) plus the longest single line.
+ */
+class LineScanner
+{
+  public:
+    static constexpr size_t kChunkBytes = 256 * 1024;
+
+    /**
+     * @param in Source stream (not owned; must outlive the scanner).
+     * @param origin Name used in diagnostics (file path or "<stream>").
+     * @param start_offset Byte offset the stream is assumed to start at
+     *   (non-zero when resuming mid-file; keeps reported offsets
+     *   absolute, exercised by the >4 GiB arithmetic tests).
+     */
+    explicit LineScanner(std::istream &in, std::string origin = "<stream>",
+                         uint64_t start_offset = 0);
+
+    /** Next line without its terminator (\n or \r\n); false at EOF. */
+    bool next(std::string &line);
+
+    /** 1-based number of the last line returned by next(). */
+    uint64_t lineNumber() const { return line_number_; }
+
+    /** Absolute byte offset of the first byte of the last line. */
+    uint64_t lineOffset() const { return line_offset_; }
+
+    /** Absolute byte offset of the next unread byte. */
+    uint64_t byteOffset() const { return offset_; }
+
+    const std::string &origin() const { return origin_; }
+
+  private:
+    bool refill();
+
+    std::istream &in_;
+    std::string origin_;
+    std::string buffer_;
+    size_t pos_ = 0;
+    uint64_t offset_ = 0;
+    uint64_t line_offset_ = 0;
+    uint64_t line_number_ = 0;
+    bool eof_ = false;
+};
+
+/**
+ * Streaming FASTA reader: one record in memory at a time (a record is a
+ * whole contig — the minimum unit the indexer needs). Validates what the
+ * slurp parser historically let through: an empty name after '>' and
+ * duplicate contig names (which would collide as `@SQ SN:` keys) both
+ * throw, with the record ordinal and line number in the message.
+ */
+class FastaReader
+{
+  public:
+    /** Open `path`; throws std::runtime_error if unopenable. */
+    explicit FastaReader(const std::string &path);
+
+    /** Read from a caller-owned stream (kept alive by the caller). */
+    explicit FastaReader(std::istream &in,
+                         std::string origin = "<stream>",
+                         uint64_t start_offset = 0);
+
+    /**
+     * Parse the next record into `out` (storage reused). Returns false
+     * at clean EOF; throws std::runtime_error (with origin, record
+     * ordinal, and line number) on malformed input.
+     */
+    bool next(FastaRecord &out);
+
+    /** Records successfully returned so far. */
+    uint64_t recordsRead() const { return records_; }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const;
+
+    std::unique_ptr<std::ifstream> file_;
+    LineScanner scanner_;
+    std::string line_;
+    bool have_pending_ = false; ///< line_ holds the next '>' header
+    bool done_ = false;
+    uint64_t records_ = 0;
+    std::unordered_set<std::string> seen_names_;
+};
+
+/**
+ * Streaming FASTQ reader: bounded memory (one 4-line record), CRLF
+ * tolerant, record-indexed errors. Blank lines are skipped between
+ * records (the header slot); a blank line inside a record — in the
+ * bases, '+', or quality slot — is diagnosed with the record ordinal
+ * and the offending line instead of silently desynchronizing the
+ * 4-line frame (the historical readFastq bug).
+ */
+class FastqReader
+{
+  public:
+    explicit FastqReader(const std::string &path);
+    explicit FastqReader(std::istream &in,
+                         std::string origin = "<stream>",
+                         uint64_t start_offset = 0);
+
+    /** Parse the next record into `out` (storage reused). Returns false
+     *  at clean EOF; throws std::runtime_error on malformed input. */
+    bool next(FastqRecord &out);
+
+    uint64_t recordsRead() const { return records_; }
+
+    /** Absolute byte offset of the next unread byte (64-bit safe). */
+    uint64_t byteOffset() const { return scanner_.byteOffset(); }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const;
+    /** Fetch the next line into line_; diagnose blank/EOF per slot. */
+    void requireLine(const char *slot);
+
+    std::unique_ptr<std::ifstream> file_;
+    LineScanner scanner_;
+    std::string line_;
+    std::string bases_;
+    uint64_t records_ = 0;
+};
+
+} // namespace seedex
+
+#endif // SEEDEX_GENOME_FASTX_STREAM_H

@@ -1,0 +1,47 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace seedex {
+
+namespace {
+
+/** The standard reflected-polynomial lookup table, built once. */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+void
+Crc32::update(const void *data, size_t len)
+{
+    const auto &table = crcTable();
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t c = state_;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    state_ = c;
+}
+
+uint32_t
+crc32(const void *data, size_t len)
+{
+    Crc32 crc;
+    crc.update(data, len);
+    return crc.value();
+}
+
+} // namespace seedex

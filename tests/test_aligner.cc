@@ -393,6 +393,33 @@ TEST_F(AlignerFixture, MapqSeparatesUniqueFromRepeat)
     EXPECT_LE(repeat_rec.mapq, 10);
 }
 
+TEST(ApproxMapq, MonotoneAndVanishingAtTies)
+{
+    const Scoring scoring; // match = 1, so the sub floor is 10
+
+    // Ties and worse-than-floor seconds are MAPQ 0.
+    EXPECT_EQ(approxMapq(100, 100, scoring), 0);
+    EXPECT_EQ(approxMapq(100, 120, scoring), 0);
+    EXPECT_EQ(approxMapq(0, 0, scoring), 0);
+
+    // A near-tie must not look confidently mapped (the old "+ 10" floor
+    // reported 11 here): MAPQ -> 0 as the gap -> 0.
+    EXPECT_LE(approxMapq(100, 99, scoring), 1);
+
+    // Monotone non-decreasing in the score gap at fixed best...
+    int prev = -1;
+    for (int sub = 99; sub >= 10; --sub) {
+        const int q = approxMapq(100, sub, scoring);
+        EXPECT_GE(q, prev) << "sub=" << sub;
+        EXPECT_GE(q, 0);
+        EXPECT_LE(q, 60);
+        prev = q;
+    }
+    // ...reaching the 60 cap for a dominant best score.
+    EXPECT_EQ(prev, 60);
+    EXPECT_EQ(approxMapq(1000, 10, scoring), 60);
+}
+
 TEST_F(AlignerFixture, SamRenderShape)
 {
     PipelineConfig config;

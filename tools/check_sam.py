@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a SAM file produced by `seedex align`.
+
+Checks the spec-level invariants the CLI promises (CI gate for the
+end-to-end job):
+
+  - header: @HD first line with a VN, at least one @SQ with SN/LN,
+    and a @PG identifying the producing program
+  - every alignment line has the 11 mandatory columns
+  - mapped records: RNAME is a declared contig, 1 <= POS <= LN, the
+    CIGAR's query-consuming length equals len(SEQ), and the record's
+    reference span stays inside the contig
+  - unmapped records (flag 0x4): RNAME '*', POS 0, MAPQ 0, CIGAR '*',
+    TLEN 0
+  - with --expect-reads N: exactly N alignment lines (every read
+    accounted for)
+
+Exit code 0 when clean, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import re
+import sys
+
+CIGAR_RE = re.compile(r"^(\d+[MIDNSHP=X])+$")
+QUERY_OPS = set("MIS=X")
+REF_OPS = set("MDN=X")
+
+
+def fail(msg, line_no=None):
+    where = f" (line {line_no})" if line_no is not None else ""
+    print(f"check_sam: FAIL{where}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def cigar_lengths(cigar):
+    query = ref = 0
+    for count, op in re.findall(r"(\d+)([MIDNSHP=X])", cigar):
+        n = int(count)
+        if op in QUERY_OPS:
+            query += n
+        if op in REF_OPS:
+            ref += n
+    return query, ref
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("sam", help="SAM file to validate")
+    parser.add_argument("--expect-reads", type=int, default=None,
+                        help="exact number of alignment lines required")
+    args = parser.parse_args()
+
+    contigs = {}
+    saw_hd = saw_pg = False
+    n_records = n_mapped = 0
+    in_header = True
+
+    with open(args.sam, encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, 1):
+            line = raw.rstrip("\n")
+            if line.startswith("@"):
+                if not in_header:
+                    fail("header line after alignment lines", line_no)
+                tag = line.split("\t", 1)[0]
+                if line_no == 1:
+                    if tag != "@HD" or "VN:" not in line:
+                        fail("first line must be @HD with VN:", line_no)
+                    saw_hd = True
+                elif tag == "@SQ":
+                    fields = dict(f.split(":", 1)
+                                  for f in line.split("\t")[1:]
+                                  if ":" in f)
+                    if "SN" not in fields or "LN" not in fields:
+                        fail("@SQ without SN/LN", line_no)
+                    if re.search(r"\s", fields["SN"]):
+                        fail(f"@SQ SN contains whitespace: "
+                             f"{fields['SN']!r}", line_no)
+                    if fields["SN"] in contigs:
+                        fail(f"duplicate @SQ SN:{fields['SN']}", line_no)
+                    contigs[fields["SN"]] = int(fields["LN"])
+                elif tag == "@PG":
+                    saw_pg = True
+                continue
+
+            if in_header:
+                in_header = False
+                if not saw_hd:
+                    fail("missing @HD header")
+                if not contigs:
+                    fail("missing @SQ lines")
+                if not saw_pg:
+                    fail("missing @PG line")
+
+            fields = line.split("\t")
+            if len(fields) < 11:
+                fail(f"{len(fields)} columns (need 11)", line_no)
+            qname, flag, rname, pos, mapq, cigar = fields[:6]
+            tlen, seq = fields[8], fields[9]
+            flag, pos, mapq, tlen = (int(flag), int(pos), int(mapq),
+                                     int(tlen))
+            n_records += 1
+
+            if flag & 0x4:
+                if (rname, pos, mapq, cigar, tlen) != ("*", 0, 0, "*", 0):
+                    fail(f"unmapped {qname}: RNAME/POS/MAPQ/CIGAR/TLEN "
+                         f"must be */0/0/*/0, got {rname}/{pos}/{mapq}/"
+                         f"{cigar}/{tlen}", line_no)
+                continue
+
+            n_mapped += 1
+            if rname not in contigs:
+                fail(f"{qname}: RNAME {rname!r} not declared in @SQ",
+                     line_no)
+            if not CIGAR_RE.match(cigar):
+                fail(f"{qname}: malformed CIGAR {cigar!r}", line_no)
+            query_len, ref_len = cigar_lengths(cigar)
+            if seq != "*" and query_len != len(seq):
+                fail(f"{qname}: CIGAR consumes {query_len} query bases "
+                     f"but SEQ is {len(seq)}", line_no)
+            if not 1 <= pos <= contigs[rname]:
+                fail(f"{qname}: POS {pos} outside {rname} "
+                     f"[1, {contigs[rname]}]", line_no)
+            if pos + ref_len - 1 > contigs[rname]:
+                fail(f"{qname}: alignment end {pos + ref_len - 1} past "
+                     f"{rname} length {contigs[rname]}", line_no)
+            if not 0 <= mapq <= 60:
+                fail(f"{qname}: MAPQ {mapq} outside [0, 60]", line_no)
+
+    if n_records == 0:
+        fail("no alignment lines")
+    if args.expect_reads is not None and n_records != args.expect_reads:
+        fail(f"{n_records} alignment lines, expected {args.expect_reads}")
+
+    print(f"check_sam: ok: {n_records} records ({n_mapped} mapped, "
+          f"{n_records - n_mapped} unmapped), {len(contigs)} contig(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
