@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Band-speculation policy benchmark (ISSUE 9): an error-rate ×
+ * read-length × policy sweep comparing the fixed one-shot speculation
+ * (the paper's deployed band 41) against the adaptive
+ * predictor-plus-escalation-ladder policy.
+ *
+ * The headline claim: the adaptive policy reduces total DP cells swept
+ * (align.kernel.cells, the kernel's real per-call accounting) versus
+ * fixed band 41 at >= 2 % simulated error, with no cell regression at
+ * 0.5 % error — while every cell of the sweep stays bit-identical to
+ * the full-band oracle on the same reads (the optimality guarantee is
+ * policy-independent, so this bench doubles as a system-level proof).
+ *
+ * cells_per_read is a ratio-class metric for bench_compare.py
+ * (machine-portable: the kernel sweeps the same cells everywhere);
+ * wall-clock columns are time-class and skipped by --ratios-only.
+ *
+ * Emits BENCH_band.json (override with --out=FILE, schema
+ * seedex.bench_sweep/v1); --quick shrinks the sweep to the committed-
+ * baseline shape; --metrics-out=FILE exports a run report with the
+ * `band_policy` section.
+ */
+#include <cstdint>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+using namespace seedex;
+using namespace seedex::bench;
+
+namespace {
+
+struct CellResult
+{
+    uint64_t kernel_cells = 0;  ///< align.kernel.cells swept by the run
+    double cells_per_read = 0;
+    double wall_seconds = 0;
+    uint64_t escalations = 0;   ///< ladder climbs during the run
+    uint64_t ladder_hits = 0;   ///< extensions accepted at some rung
+    uint64_t cells_saved = 0;   ///< modeled savings vs direct full band
+    bool identical = false;     ///< vs the full-band oracle
+};
+
+/** One policy run over one simulated workload, measured via the kernel
+ *  cell counter delta and byte-compared against the oracle records. */
+CellResult
+runCell(const Sequence &reference,
+        const std::vector<std::pair<std::string, Sequence>> &reads,
+        const std::vector<SamRecord> &expected, BandPolicyKind kind)
+{
+    PipelineConfig config;
+    config.engine = EngineKind::SeedEx;
+    config.band_policy.kind = kind;
+    Aligner aligner(reference, config);
+
+    obs::Counter &cells =
+        obs::MetricsRegistry::global().counter("align.kernel.cells");
+    const obs_detail::BandPolicyCounters before = bandPolicyCounters();
+    const uint64_t cells_before = cells.value();
+
+    CellResult res;
+    Stopwatch wall;
+    wall.start();
+    const std::vector<SamRecord> got = aligner.alignBatch(reads);
+    wall.stop();
+
+    res.kernel_cells = cells.value() - cells_before;
+    const obs_detail::BandPolicyCounters after = bandPolicyCounters();
+    res.escalations = after.escalations - before.escalations;
+    res.ladder_hits = after.ladder_hits - before.ladder_hits;
+    res.cells_saved =
+        after.rerun_cells_saved - before.rerun_cells_saved;
+    res.wall_seconds = wall.seconds();
+    res.cells_per_read = reads.empty()
+        ? 0
+        : static_cast<double>(res.kernel_cells) /
+            static_cast<double>(reads.size());
+
+    res.identical = got.size() == expected.size();
+    for (size_t i = 0; res.identical && i < got.size(); ++i)
+        res.identical = got[i].sameAlignment(expected[i]);
+    return res;
+}
+
+void
+appendCell(obs::JsonWriter &json, double error_pct, size_t read_len,
+           const char *policy, size_t n_reads, const CellResult &res)
+{
+    json.beginObject();
+    json.kv("error_pct", error_pct);
+    json.kv("read_len", static_cast<uint64_t>(read_len));
+    json.kv("policy", std::string(policy));
+    json.kv("reads", static_cast<uint64_t>(n_reads));
+    json.kv("identical_to_fullband", res.identical);
+    // Ratio class (machine-portable; the CI gate compares these).
+    json.kv("cells_per_read", res.cells_per_read);
+    // Context for the ratio column.
+    json.kv("kernel_cells", res.kernel_cells);
+    json.kv("escalations", res.escalations);
+    json.kv("ladder_hits", res.ladder_hits);
+    json.kv("cells_saved_modeled", res.cells_saved);
+    // Time class (host-dependent; skipped by --ratios-only).
+    json.kv("wall_seconds", res.wall_seconds);
+    json.kv("reads_per_s", res.wall_seconds > 0
+                ? static_cast<double>(n_reads) / res.wall_seconds
+                : 0);
+    json.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("Adaptive band speculation: prediction + escalation ladder",
+           "per-extension band prediction cuts DP cells vs fixed band "
+           "41 as error rates rise, at bit-identical output");
+
+    const bool quick = quickMode(argc, argv);
+    std::string out_path = flagValue(argc, argv, "--out", nullptr);
+    if (out_path.empty())
+        out_path = "BENCH_band.json";
+    const std::string metrics_path = metricsOutPath(argc, argv);
+    const std::string trace_out = traceOutPath(argc, argv);
+
+    const size_t ref_len = quick ? 200000 : 600000;
+    const size_t n_reads = quick ? 1200 : 5000;
+    const std::vector<double> error_pcts =
+        quick ? std::vector<double>{0.5, 2.0}
+              : std::vector<double>{0.5, 2.0, 5.0};
+    const std::vector<size_t> read_lens =
+        quick ? std::vector<size_t>{101} : std::vector<size_t>{101, 151};
+
+    TextTable table;
+    table.setHeader({"error%", "len", "policy", "cells/read", "escal",
+                     "hits", "reads/s", "identical"});
+    obs::JsonWriter json;
+    json.beginObject();
+    beginSweepDoc(json, "bench_band");
+    json.key("cells").beginArray();
+
+    bool all_identical = true;
+    // fixed/adaptive cells_per_read ratios at the two acceptance gates.
+    double ratio_2pct = 0, ratio_low = 0;
+
+    for (const size_t read_len : read_lens) {
+        for (const double error_pct : error_pcts) {
+            // One workload per (error, length) combo, shared by both
+            // policies and the oracle so the comparison is exact.
+            Rng rng(20200809 + static_cast<uint64_t>(error_pct * 10) +
+                    read_len);
+            ReferenceParams ref_params;
+            ref_params.length = ref_len;
+            const Sequence reference =
+                generateReference(ref_params, rng);
+            ReadSimParams sim = ReadSimParams::illumina();
+            sim.read_length = read_len;
+            sim.base_error_rate = error_pct / 100.0;
+            ReadSimulator simulator(reference, sim);
+            std::vector<std::pair<std::string, Sequence>> reads;
+            reads.reserve(n_reads);
+            for (size_t i = 0; i < n_reads; ++i) {
+                const SimulatedRead r = simulator.simulate(rng, i);
+                reads.emplace_back(r.name, r.seq);
+            }
+
+            // Full-band oracle: the output every policy must reproduce.
+            PipelineConfig oracle_cfg;
+            Aligner oracle(reference, oracle_cfg);
+            const std::vector<SamRecord> expected =
+                oracle.alignBatch(reads);
+
+            const CellResult fixed = runCell(
+                reference, reads, expected, BandPolicyKind::Fixed);
+            const CellResult adaptive = runCell(
+                reference, reads, expected, BandPolicyKind::Adaptive);
+            all_identical &= fixed.identical && adaptive.identical;
+
+            const double ratio = adaptive.cells_per_read > 0
+                ? fixed.cells_per_read / adaptive.cells_per_read
+                : 0;
+            if (read_len == 101 && error_pct == 2.0)
+                ratio_2pct = ratio;
+            if (read_len == 101 && error_pct == 0.5)
+                ratio_low = ratio;
+
+            appendCell(json, error_pct, read_len, "fixed", n_reads,
+                       fixed);
+            appendCell(json, error_pct, read_len, "adaptive", n_reads,
+                       adaptive);
+            auto add_row = [&](const char *policy,
+                               const CellResult &res) {
+                table.addRow(
+                    {strprintf("%.1f", error_pct),
+                     std::to_string(read_len), policy,
+                     strprintf("%.0f", res.cells_per_read),
+                     std::to_string(res.escalations),
+                     std::to_string(res.ladder_hits),
+                     strprintf("%.0f", res.wall_seconds > 0
+                                   ? n_reads / res.wall_seconds
+                                   : 0),
+                     res.identical ? "yes" : "NO"});
+            };
+            add_row("fixed", fixed);
+            add_row("adaptive", adaptive);
+        }
+    }
+    json.endArray();
+    json.kv("cells_ratio_2pct", ratio_2pct);
+    json.kv("cells_ratio_low_error", ratio_low);
+    json.kv("all_identical", all_identical);
+    json.endObject();
+
+    std::cout << table.render();
+    std::cout << strprintf(
+        "\nheadline: fixed/adaptive cells-per-read ratio %.2fx at 2%% "
+        "error (claim > 1.0), %.2fx at 0.5%% error (claim >= 1.0)\n",
+        ratio_2pct, ratio_low);
+
+    if (!all_identical) {
+        std::cerr << "[bench] FAIL: a policy cell diverged from the "
+                     "full-band oracle\n";
+        return 1;
+    }
+
+    if (!obs::writeTextFile(out_path, json.str()))
+        std::cerr << "[bench] FAILED to write " << out_path << "\n";
+    else
+        std::cout << "[bench] sweep written to " << out_path << "\n";
+
+    BandPolicyConfig adaptive_cfg;
+    adaptive_cfg.kind = BandPolicyKind::Adaptive;
+    writeRunReport(metrics_path, "bench_band", nullptr, nullptr, nullptr,
+                   &adaptive_cfg);
+    maybeWriteTrace(trace_out);
+    return 0;
+}

@@ -40,29 +40,39 @@ BandedEngine::extend(const Sequence &query, const Sequence &target, int h0)
     cfg.scoring = scoring_;
     // BWA caps the configured band at the per-extension estimate (the
     // estimate is the band that cannot miss anything affordable).
-    cfg.band = std::min(
-        band_, estimateFullBand(static_cast<int>(query.size()), scoring_,
-                                end_bonus_));
-    return kswExtend(query, target, h0, cfg);
+    const int est = estimateFullBand(static_cast<int>(query.size()),
+                                     scoring_, end_bonus_);
+    cfg.band = std::min(band_, est);
+    cfg.zdrop = zdrop_;
+    const ExtendResult r = kswExtend(query, target, h0, cfg);
+    // Unguaranteed-path provenance: this engine has no optimality
+    // checks, so the ledger records *why* its output may diverge from
+    // the full band (Fig. 13): the kernel z-dropped, or the optimal
+    // path pressed against a band narrower than the estimate.
+    if (obs::ReadRecord *rec = obs::Ledger::active()) {
+        if (r.zdropped)
+            ++rec->zdrops;
+        if (cfg.band < est && r.max_off >= cfg.band)
+            ++rec->band_clips;
+    }
+    return r;
 }
 
 ExtendResult
 SeedExEngine::extend(const Sequence &query, const Sequence &target, int h0)
 {
     ++calls_;
-    // Cap the hardware band at BWA's estimate for this flank: narrower
-    // bands only tighten the checks, and it keeps accepted results
+    // The band policy runs the speculation ladder: for the fixed policy
+    // that is exactly one filtered rung at min(config band, BWA's
+    // estimate) plus the host full-band rerun on rejection (the
+    // pre-policy behavior); the adaptive policy predicts the first rung
+    // and escalates through wider filtered rungs first. Either way every
+    // rung replays the optimality checks, so accepted results stay
     // bit-identical to the estimated-band baseline (narrow <= estimated
     // <= unbanded, and acceptance proves narrow == unbanded).
-    SeedExConfig cfg = filter_.config();
-    const int est = estimateFullBand(static_cast<int>(query.size()),
-                                     cfg.scoring, cfg.end_bonus);
-    if (est < cfg.band) {
-        cfg.band = est;
-        return SeedExFilter(cfg).runWithRerun(query, target, h0,
-                                              &stats_);
-    }
-    return filter_.runWithRerun(query, target, h0, &stats_);
+    const BandHint hint = hint_ != nullptr ? *hint_ : BandHint{};
+    return policy_.extend(filter_, query, target, h0, hint, &stats_)
+        .result;
 }
 
 ChainAlignment
@@ -82,6 +92,14 @@ extendChain(const Chain &chain, const Sequence &oriented_read,
         oriented_read.size(),
         oriented_read.size() + static_cast<size_t>(params.window_slack));
 
+    // Band-prediction signals for both flanks: the oriented read length,
+    // how much of it the chain's seeds cover, and how fragmented the
+    // chain is (junctions between seeds are where indels hide).
+    BandHint hint;
+    hint.read_len = n;
+    hint.chain_weight = chain.weight;
+    hint.n_seeds = static_cast<int>(chain.seeds.size());
+
     ChainAlignment out;
     out.reverse = chain.reverse;
     out.seed_score = anchor.len * params.scoring.match;
@@ -100,7 +118,7 @@ extendChain(const Chain &chain, const Sequence &oriented_read,
             static_cast<uint64_t>(anchor.qbeg + params.window_slack));
         const Sequence t = reversed(reference.slice(
             anchor.rbeg - window, static_cast<size_t>(window)));
-        const ExtendResult r = engine.extend(q, t, score);
+        const ExtendResult r = engine.extendHinted(q, t, score, hint);
         out.max_off = std::max(out.max_off, r.max_off);
         // BWA's clip decision: prefer reaching the read end unless the
         // local max beats it by more than the end bonus.
@@ -127,7 +145,7 @@ extendChain(const Chain &chain, const Sequence &oriented_read,
             static_cast<uint64_t>(remain + params.window_slack));
         const Sequence t =
             reference.slice(anchor.rend(), static_cast<size_t>(window));
-        const ExtendResult r = engine.extend(q, t, score);
+        const ExtendResult r = engine.extendHinted(q, t, score, hint);
         out.max_off = std::max(out.max_off, r.max_off);
         if (r.gscore <= 0 || r.gscore < r.score - params.end_bonus) {
             score = r.score;

@@ -6,6 +6,7 @@
 
 #include "aligner/chaining.h"
 #include "align/extend.h"
+#include "seedex/band_policy.h"
 #include "seedex/filter.h"
 
 namespace seedex {
@@ -25,12 +26,32 @@ class ExtensionEngine
     virtual ExtendResult extend(const Sequence &query,
                                 const Sequence &target, int h0) = 0;
 
+    /**
+     * extend() with per-extension band-prediction signals attached. The
+     * hint is advisory: engines that ignore it (full band, banded) are
+     * unchanged, and the SeedEx engine's output is hint-independent by
+     * the band-invariance guarantee — hints only steer where DP work is
+     * spent. Decorators forward the active hint to their inner engine.
+     */
+    ExtendResult
+    extendHinted(const Sequence &query, const Sequence &target, int h0,
+                 const BandHint &hint)
+    {
+        hint_ = &hint;
+        ExtendResult r = extend(query, target, h0);
+        hint_ = nullptr;
+        return r;
+    }
+
     virtual std::string name() const = 0;
 
     /** Extensions executed (for throughput accounting). */
     uint64_t calls() const { return calls_; }
 
   protected:
+    /** Hint of the in-flight extendHinted() call; null for bare
+     *  extend() calls (degrades to the length-only prediction). */
+    const BandHint *hint_ = nullptr;
     uint64_t calls_ = 0;
 };
 
@@ -59,8 +80,9 @@ class BandedEngine : public ExtensionEngine
   public:
     explicit BandedEngine(int band,
                           Scoring scoring = Scoring::bwaDefault(),
-                          int end_bonus = 5)
-        : band_(band), scoring_(scoring), end_bonus_(end_bonus)
+                          int end_bonus = 5, int zdrop = -1)
+        : band_(band), scoring_(scoring), end_bonus_(end_bonus),
+          zdrop_(zdrop)
     {}
 
     ExtendResult extend(const Sequence &query, const Sequence &target,
@@ -74,6 +96,7 @@ class BandedEngine : public ExtensionEngine
     int band_;
     Scoring scoring_;
     int end_bonus_;
+    int zdrop_;
 };
 
 /** The SeedEx engine: speculative narrow band + optimality checks +
@@ -81,7 +104,13 @@ class BandedEngine : public ExtensionEngine
 class SeedExEngine : public ExtensionEngine
 {
   public:
-    explicit SeedExEngine(SeedExConfig config) : filter_(config) {}
+    explicit SeedExEngine(SeedExConfig config)
+        : SeedExEngine(config, BandPolicyConfig::fixed(config.band))
+    {}
+
+    SeedExEngine(SeedExConfig config, BandPolicyConfig policy)
+        : filter_(config), policy_(std::move(policy))
+    {}
 
     ExtendResult extend(const Sequence &query, const Sequence &target,
                         int h0) override;
@@ -91,10 +120,12 @@ class SeedExEngine : public ExtensionEngine
     }
 
     const FilterStats &stats() const { return stats_; }
+    const BandPolicy &policy() const { return policy_; }
 
   private:
     SeedExFilter filter_;
     FilterStats stats_;
+    BandPolicy policy_;
 };
 
 /** One extended chain: a candidate alignment of the oriented read. */

@@ -71,9 +71,13 @@ class CapturingEngine : public ExtensionEngine
     ExtendResult
     extend(const Sequence &query, const Sequence &target, int h0) override
     {
+        // Forward the active hint so captured jobs carry the same
+        // band-prediction signals the inner engine sees (the threaded
+        // pipeline replays captured jobs through the device model).
+        const BandHint hint = hint_ != nullptr ? *hint_ : BandHint{};
         if (sink_)
-            sink_->push_back({query, target, h0});
-        return inner_.extend(query, target, h0);
+            sink_->push_back({query, target, h0, hint});
+        return inner_.extendHinted(query, target, h0, hint);
     }
 
     std::string name() const override { return inner_.name(); }
@@ -93,12 +97,15 @@ makeEngine(const PipelineConfig &config)
       case EngineKind::Banded:
         return std::make_unique<BandedEngine>(config.band,
                                               config.extension.scoring,
-                                              config.extension.end_bonus);
+                                              config.extension.end_bonus,
+                                              config.seedex.zdrop);
       case EngineKind::SeedEx: {
         SeedExConfig sx = config.seedex;
         sx.band = config.band;
         sx.scoring = config.extension.scoring;
-        return std::make_unique<SeedExEngine>(sx);
+        BandPolicyConfig pol = config.band_policy;
+        pol.base_band = config.band;
+        return std::make_unique<SeedExEngine>(sx, std::move(pol));
       }
     }
     return nullptr;

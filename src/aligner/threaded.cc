@@ -357,6 +357,15 @@ runThreadedPipeline(const Sequence &reference,
         std::vector<ExtensionJob> jobs;
         std::vector<obs::ReadRecord> ledger_recs;
         std::vector<int> rec_of_item;
+        // Per-consumer band-speculation policy. Predictor state is
+        // deterministic per worker but depends on batch interleaving;
+        // that is safe because predictions only steer which bands the
+        // ladder tries — every rung re-runs the optimality checks and
+        // the final fallback is the full band, so SAM bytes are policy-
+        // and schedule-independent.
+        BandPolicyConfig policy_cfg = config.pipeline.band_policy;
+        policy_cfg.base_band = config.pipeline.band;
+        BandPolicy policy(std::move(policy_cfg));
         const double cpu_begin = threadCpuSeconds();
         double my_device_cpu = 0;
         for (;;) {
@@ -445,7 +454,11 @@ runThreadedPipeline(const Sequence &reference,
                 obs::ReadRecord &rec =
                     ledger_recs[static_cast<size_t>(ri)];
                 ++rec.extensions;
-                ++rec.kernel_calls; // narrow speculation
+                // One narrow speculation per filtered ladder rung.
+                rec.kernel_calls += res.ladder_rungs[k];
+                rec.ladder_rungs += res.ladder_rungs[k];
+                if (res.band_predicted[k] > rec.band_predicted)
+                    rec.band_predicted = res.band_predicted[k];
                 rec.addVerdict(ledgerVerdict(res.verdicts[k]),
                                res.edit_runs[k]);
                 if (res.rerun[k]) {
@@ -472,6 +485,11 @@ runThreadedPipeline(const Sequence &reference,
                 p.job.target = reversedSeq(reference.slice(
                     anchor.rbeg - window, static_cast<size_t>(window)));
                 p.job.h0 = slots[s].score;
+                p.job.hint.read_len =
+                    static_cast<int>(oriented(slots[s]).size());
+                p.job.hint.chain_weight = slots[s].chain->weight;
+                p.job.hint.n_seeds =
+                    static_cast<int>(slots[s].chain->seeds.size());
                 pending.push_back(std::move(p));
             }
             auto run_batch = [&](std::vector<PendingExtension> &pend) {
@@ -483,7 +501,7 @@ runThreadedPipeline(const Sequence &reference,
                                          "threaded");
                 std::lock_guard<std::mutex> lock(fpga_lock);
                 const double device_begin = threadCpuSeconds();
-                BatchResult r = device.processBatch(jobs);
+                BatchResult r = device.processBatch(jobs, &policy);
                 my_device_cpu += threadCpuSeconds() - device_begin;
                 device_cycles += r.device_cycles;
                 extensions += jobs.size();
@@ -538,6 +556,10 @@ runThreadedPipeline(const Sequence &reference,
                 p.job.target = reference.slice(
                     anchor.rend(), static_cast<size_t>(window));
                 p.job.h0 = slot.score;
+                p.job.hint.read_len = n;
+                p.job.hint.chain_weight = slot.chain->weight;
+                p.job.hint.n_seeds =
+                    static_cast<int>(slot.chain->seeds.size());
                 pending.push_back(std::move(p));
             }
             if (!pending.empty()) {

@@ -47,7 +47,13 @@ const char kUsage[] =
     "align options (env-knob equivalents in parentheses):\n"
     "  -o FILE             SAM output path (default: stdout)\n"
     "  --engine=NAME       fullband | banded | seedex   [seedex]\n"
-    "  --band=N            band width for banded/seedex engines\n"
+    "  --band=N            band width for banded/seedex engines "
+    "(SEEDEX_BAND)\n"
+    "  --band-policy=NAME  fixed | adaptive band speculation for the\n"
+    "                      seedex engine (SEEDEX_BAND_POLICY)  [fixed]\n"
+    "  --band-ladder=LIST  comma-separated ascending escalation bands\n"
+    "                      for --band-policy=adaptive "
+    "(SEEDEX_BAND_LADDER)\n"
     "  --threads=N         total worker threads (SEEDEX_THREADS); 1 =\n"
     "                      single-threaded in-process pipeline\n"
     "  --seeding-threads=N / --fpga-threads=N  explicit 3:1 split override\n"
@@ -274,10 +280,11 @@ cmdAlign(int argc, char **argv)
 {
     const Args args = parseArgs(
         argc, argv, 2,
-        {"--engine", "--band", "--threads", "--seeding-threads",
-         "--fpga-threads", "--batch", "--queue-cap", "--queue-shards",
-         "--kernel", "--fm-layout", "--kmer", "--metrics-out",
-         "--trace-out", "--ledger-out", "--ledger-sample"});
+        {"--engine", "--band", "--band-policy", "--band-ladder",
+         "--threads", "--seeding-threads", "--fpga-threads", "--batch",
+         "--queue-cap", "--queue-shards", "--kernel", "--fm-layout",
+         "--kmer", "--metrics-out", "--trace-out", "--ledger-out",
+         "--ledger-sample"});
     if (args.positional.size() != 2)
         throw UsageError("align expects <ref.sdx|ref.fa> <reads.fq>");
     exportKnob(args, "--kernel", "SEEDEX_KERNEL");
@@ -290,8 +297,36 @@ cmdAlign(int argc, char **argv)
     // a usage error (exit 2) even when the inputs are also unreadable.
     PipelineConfig pconfig;
     pconfig.engine = parseEngine(args.get("--engine", "seedex"));
-    pconfig.band = static_cast<int>(
-        args.getLong("--band", pconfig.band));
+    // Band knobs follow the CLI-wide precedence contract: an explicit
+    // flag beats the SEEDEX_* environment variable, which beats the
+    // built-in default (see the README flag table).
+    if (args.has("--band")) {
+        pconfig.band =
+            static_cast<int>(args.getLong("--band", pconfig.band));
+    } else if (const char *v = std::getenv("SEEDEX_BAND")) {
+        char *end = nullptr;
+        const long n = std::strtol(v, &end, 10);
+        if (end != v && *end == '\0' && n > 0)
+            pconfig.band = static_cast<int>(n);
+    }
+    const std::string policy_name =
+        args.getOrEnv("--band-policy", "SEEDEX_BAND_POLICY");
+    if (!policy_name.empty()) {
+        try {
+            pconfig.band_policy.kind = parseBandPolicyKind(policy_name);
+        } catch (const std::invalid_argument &e) {
+            throw UsageError(e.what());
+        }
+    }
+    const std::string ladder_spec =
+        args.getOrEnv("--band-ladder", "SEEDEX_BAND_LADDER");
+    if (!ladder_spec.empty()) {
+        try {
+            pconfig.band_policy.ladder = parseBandLadder(ladder_spec);
+        } catch (const std::invalid_argument &e) {
+            throw UsageError(e.what());
+        }
+    }
 
     // Threading shape: env knobs first (ThreadedConfig::applyEnv), then
     // flags override. --threads picks the paper's 3:1 split; the
@@ -449,6 +484,17 @@ cmdAlign(int argc, char **argv)
             w.kv("engine", args.get("--engine", "seedex"));
             w.kv("threads", static_cast<uint64_t>(threads));
             w.kv("threaded", threaded);
+        });
+        report.section("band_policy", [&](obs::JsonWriter &w) {
+            w.kv("kind", bandPolicyKindName(pconfig.band_policy.kind));
+            w.kv("base_band", static_cast<int64_t>(pconfig.band));
+            w.kv("min_band",
+                 static_cast<int64_t>(pconfig.band_policy.min_band));
+            const obs_detail::BandPolicyCounters bp = bandPolicyCounters();
+            w.kv("predicted", bp.predicted);
+            w.kv("escalations", bp.escalations);
+            w.kv("ladder_hits", bp.ladder_hits);
+            w.kv("rerun_cells_saved", bp.rerun_cells_saved);
         });
         if (threaded) {
             report.section("threaded", [&](obs::JsonWriter &w) {

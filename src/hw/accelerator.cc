@@ -45,7 +45,8 @@ deviceMetrics()
 } // namespace
 
 BatchResult
-SeedExAccelerator::processBatch(const std::vector<ExtensionJob> &jobs) const
+SeedExAccelerator::processBatch(const std::vector<ExtensionJob> &jobs,
+                                BandPolicy *policy) const
 {
     obs::TraceSpan span("device.batch", "device");
     BatchResult batch;
@@ -57,27 +58,30 @@ SeedExAccelerator::processBatch(const std::vector<ExtensionJob> &jobs) const
     const SeedExConfig &cfg = filter_.config();
     SystolicBswCore bsw(cfg.band, cfg.scoring);
 
+    // Functional path: the band policy runs the speculation ladder
+    // (SeedExFilter checks at each rung, full-band host rerun as the
+    // final fallback). With no caller-owned policy this is the fixed
+    // one-shot speculation at the filter's band capped at BWA's
+    // per-flank estimate — the pre-policy device behavior, bit for bit.
+    // The policy is host-side scheduling: the device timing model below
+    // is unchanged (the hardware band is fixed; unused PEs are simply
+    // disabled).
+    BandPolicy fallback_policy(BandPolicyConfig::fixed(cfg.band));
+    BandPolicy &pol = policy != nullptr ? *policy : fallback_policy;
+
     for (size_t idx = 0; idx < jobs.size(); ++idx) {
         const ExtensionJob &job = jobs[idx];
-        // Functional path: speculate + test. Like the software engines,
-        // the device caps its band at BWA's per-flank estimate (unused
-        // PEs are simply disabled), which keeps accepted results
-        // bit-identical to the estimated-band baseline.
         const int est = estimateFullBand(
             static_cast<int>(job.query.size()), cfg.scoring,
             cfg.end_bonus);
-        FilterOutcome outcome;
-        if (est < cfg.band) {
-            SeedExConfig clamped = cfg;
-            clamped.band = est;
-            outcome = SeedExFilter(clamped).run(job.query, job.target,
-                                                job.h0);
-        } else {
-            outcome = filter_.run(job.query, job.target, job.h0);
-        }
-        batch.stats.add(outcome);
-        batch.verdicts.push_back(outcome.verdict);
-        batch.edit_runs.push_back(outcome.ran_edit_machine);
+        const LadderOutcome lo = pol.extend(filter_, job.query, job.target,
+                                            job.h0, job.hint,
+                                            &batch.stats);
+        batch.verdicts.push_back(lo.verdict);
+        batch.edit_runs.push_back(lo.ran_edit_machine);
+        batch.band_predicted.push_back(lo.band_predicted);
+        batch.ladder_rungs.push_back(
+            static_cast<uint8_t>(std::min(lo.rungs_run, 255)));
 
         // Timing + exception path: the systolic model of the same core.
         BswCoreStats stats;
@@ -89,23 +93,25 @@ SeedExAccelerator::processBatch(const std::vector<ExtensionJob> &jobs) const
         *target_core += stats.cycles;
         batch.busy_cycles += stats.cycles;
 
-        if (outcome.ran_edit_machine) {
+        if (lo.ran_edit_machine) {
             EditMachineStats estats;
             edit_machine_.run(job.query, job.target, job.h0, cfg.scoring,
                               &estats);
             batch.edit_cycles += estats.cycles;
         }
 
-        bool rerun = !outcome.isAccepted();
+        bool rerun = !lo.accepted;
         if (stats.early_term_exception) {
             rerun = true;
             ++batch.reruns_exception;
-        } else if (!outcome.isAccepted()) {
+        } else if (!lo.accepted) {
             ++batch.reruns_checks;
         }
         batch.rerun[idx] = rerun;
-        if (rerun) {
-            // Host rerun with the conservatively estimated full band.
+        if (rerun && lo.accepted) {
+            // Speculative early-termination exception on an accepted
+            // extension: the device result cannot be trusted, so the
+            // host recomputes at the conservatively estimated full band.
             ExtendConfig full;
             full.scoring = cfg.scoring;
             full.band = est;
@@ -113,7 +119,9 @@ SeedExAccelerator::processBatch(const std::vector<ExtensionJob> &jobs) const
             batch.results.push_back(
                 kswExtend(job.query, job.target, job.h0, full));
         } else {
-            batch.results.push_back(outcome.narrow);
+            // Accepted rung result, or the ladder's own full-band
+            // fallback (already guaranteed-optimal).
+            batch.results.push_back(lo.result);
         }
     }
     batch.device_cycles = core_busy.empty()

@@ -1,4 +1,5 @@
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <initializer_list>
 #include <sstream>
@@ -415,6 +416,133 @@ TEST(CliErrors, MalformedFastqExitsOneAfterPartialOutput)
     EXPECT_EQ(cli({"seedex", "align", w.fasta_path, fq, "-o", out,
                    "--threads=4"}),
               1);
+}
+
+// ---- flag vs environment precedence ------------------------------------
+
+/** RAII environment override (restores the prior value on exit so a
+ *  failing test cannot poison later ones). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved_ = old;
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (saved_.empty())
+            ::unsetenv(name_.c_str());
+        else
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Value of `"key":` in a flat JSON document, as raw text up to the
+ *  next comma/brace (whitespace-tolerant; enough for report fields). */
+std::string
+jsonValue(const std::string &doc, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\"";
+    size_t at = doc.find(needle);
+    EXPECT_NE(at, std::string::npos) << key;
+    if (at == std::string::npos)
+        return {};
+    at = doc.find(':', at + needle.size());
+    EXPECT_NE(at, std::string::npos) << key;
+    ++at;
+    while (at < doc.size() && (doc[at] == ' ' || doc[at] == '\t'))
+        ++at;
+    size_t end = at;
+    while (end < doc.size() && doc[end] != ',' && doc[end] != '}' &&
+           doc[end] != '\n')
+        ++end;
+    std::string value = doc.substr(at, end - at);
+    while (!value.empty() && (value.back() == ' ' || value.back() == '"'))
+        value.pop_back();
+    if (!value.empty() && value.front() == '"')
+        value.erase(value.begin());
+    return value;
+}
+
+class CliPrecedence : public ::testing::Test
+{
+  protected:
+    /** Run an align with extra flags, return the metrics report text. */
+    std::string
+    alignReport(const std::string &tag,
+                std::initializer_list<std::string> extra)
+    {
+        static const Workload w = buildWorkload("prec", 40);
+        const std::string out = tempPath("prec_" + tag + ".sam");
+        const std::string metrics =
+            tempPath("prec_" + tag + "_metrics.json");
+        std::vector<std::string> args = {"seedex", "align", w.fasta_path,
+                                         w.fastq_path, "-o", out,
+                                         "--metrics-out=" + metrics};
+        args.insert(args.end(), extra.begin(), extra.end());
+        std::vector<char *> argv;
+        for (std::string &s : args)
+            argv.push_back(s.data());
+        EXPECT_EQ(runCli(static_cast<int>(argv.size()), argv.data()), 0);
+        return slurp(metrics);
+    }
+};
+
+TEST_F(CliPrecedence, BandFlagBeatsEnv)
+{
+    ScopedEnv env("SEEDEX_BAND", "7");
+    // Env alone reaches the pipeline...
+    EXPECT_EQ(jsonValue(alignReport("band_env", {}), "base_band"), "7");
+    // ...but an explicit flag always wins.
+    EXPECT_EQ(jsonValue(alignReport("band_flag", {"--band=21"}),
+                        "base_band"),
+              "21");
+}
+
+TEST_F(CliPrecedence, BandPolicyFlagBeatsEnv)
+{
+    ScopedEnv env("SEEDEX_BAND_POLICY", "adaptive");
+    EXPECT_EQ(jsonValue(alignReport("pol_env", {}), "kind"), "adaptive");
+    EXPECT_EQ(jsonValue(alignReport("pol_flag", {"--band-policy=fixed"}),
+                        "kind"),
+              "fixed");
+}
+
+TEST_F(CliPrecedence, BadPolicyValuesAreUsageErrors)
+{
+    const Workload w = buildWorkload("badpol", 3);
+    const std::string out = tempPath("badpol.sam");
+    EXPECT_EQ(cli({"seedex", "align", w.fasta_path, w.fastq_path, "-o",
+                   out, "--band-policy=greedy"}),
+              2);
+    EXPECT_EQ(cli({"seedex", "align", w.fasta_path, w.fastq_path, "-o",
+                   out, "--band-ladder=19,9"}),
+              2);
+    EXPECT_EQ(cli({"seedex", "align", w.fasta_path, w.fastq_path, "-o",
+                   out, "--band-ladder=banana"}),
+              2);
+    // A well-formed adaptive run with an explicit ladder is accepted.
+    EXPECT_EQ(cli({"seedex", "align", w.fasta_path, w.fastq_path, "-o",
+                   out, "--band-policy=adaptive",
+                   "--band-ladder=11,23,41"}),
+              0);
 }
 
 // ---- unmapped-record SAM fields ----------------------------------------
