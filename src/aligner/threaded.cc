@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "align/kernel.h"
@@ -143,7 +145,18 @@ runThreadedPipeline(const Sequence &reference,
     const SeedExAccelerator device(config.organization, filter_cfg);
     std::mutex fpga_lock;
 
-    const size_t batch_size = std::max<size_t>(1, config.batch_size);
+    if (config.paired && reads_vec != nullptr &&
+        reads_vec->size() % 2 != 0)
+        throw std::invalid_argument(
+            "paired threaded run requires an even read count "
+            "(whole pairs)");
+
+    // Paired mode rounds the batch up to even so a pair never straddles
+    // a slab boundary: with an even batch size and whole-pair feeds,
+    // mates sit at items 2j/2j+1 of one batch by construction.
+    size_t batch_size = std::max<size_t>(1, config.batch_size);
+    if (config.paired)
+        batch_size += batch_size & 1;
     const int n_producers = std::max(1, config.seeding_threads);
     const int n_consumers = std::max(1, config.fpga_threads);
     size_t shards = config.queue_shards > 0
@@ -175,6 +188,8 @@ runThreadedPipeline(const Sequence &reference,
     std::atomic<size_t> next_read{0};
     std::atomic<uint64_t> extensions{0}, reruns{0}, batches{0},
         device_cycles{0};
+    std::atomic<uint64_t> pair_count{0}, pair_proper{0}, pair_rescues{0},
+        pair_rescue_ext{0}, pair_rescue_passes{0};
     std::mutex cpu_mutex;
     double producer_cpu = 0, consumer_cpu = 0, device_cpu = 0;
 
@@ -366,6 +381,21 @@ runThreadedPipeline(const Sequence &reference,
         BandPolicyConfig policy_cfg = config.pipeline.band_policy;
         policy_cfg.base_band = config.pipeline.band;
         BandPolicy policy(std::move(policy_cfg));
+        // Paired mode: a per-consumer SeedEx rescue engine (same filter
+        // configuration as the device, so rescue extensions carry the
+        // identical full-band bit-equality acceptance proof) plus the
+        // worker-invariant pair context. Engine state never influences
+        // output bytes — band invariance again — so per-consumer
+        // engines keep paired SAM schedule-independent.
+        std::unique_ptr<SeedExEngine> rescue_engine;
+        if (config.paired) {
+            BandPolicyConfig rescue_cfg = config.pipeline.band_policy;
+            rescue_cfg.base_band = config.pipeline.band;
+            rescue_engine = std::make_unique<SeedExEngine>(
+                filter_cfg, std::move(rescue_cfg));
+        }
+        const PairContext pair_ctx{reference, config.pipeline.contigs,
+                                   xp, config.insert, config.mate_rescue};
         const double cpu_begin = threadCpuSeconds();
         double my_device_cpu = 0;
         for (;;) {
@@ -626,6 +656,43 @@ runThreadedPipeline(const Sequence &reference,
                 }
                 s += item.n_chains;
             }
+            // Pair finalization: mates sit at items 2j/2j+1 of this
+            // slab (even batch size + whole-pair feed), so rescue, the
+            // proper verdict, and the SAM pair bookkeeping run here —
+            // before the batch enters the reorder window, which then
+            // emits both records adjacently in input order for free.
+            if (config.paired) {
+                for (size_t i = 0; i + 1 < batch.n_items; i += 2) {
+                    const PairOutcome po = finalizePair(
+                        recs[i], recs[i + 1], *batch.items[i].read,
+                        *batch.items[i + 1].read, *rescue_engine,
+                        pair_ctx);
+                    ++pair_count;
+                    pair_proper += po.proper ? 1 : 0;
+                    pair_rescues += po.rescued() ? 1 : 0;
+                    pair_rescue_ext += po.rescue_extensions;
+                    pair_rescue_passes += po.rescue_passes;
+                    if (!ledger_on)
+                        continue;
+                    for (size_t m = 0; m < 2; ++m) {
+                        const int ri = rec_of_item[i + m];
+                        if (ri < 0)
+                            continue;
+                        obs::ReadRecord &rec =
+                            ledger_recs[static_cast<size_t>(ri)];
+                        rec.paired = true;
+                        rec.proper = po.proper;
+                        const bool rescued = m == 0 ? po.rescued_first
+                                                    : po.rescued_second;
+                        rec.pair_rescued = rescued;
+                        if (rescued)
+                            rec.rescue_extensions += po.rescue_extensions;
+                        // Rescue can replace the record outright.
+                        rec.score = recs[i + m].score;
+                        rec.mapped = recs[i + m].mapped();
+                    }
+                }
+            }
             if (ledger_on) {
                 for (obs::ReadRecord &rec : ledger_recs)
                     ledger.publish(std::move(rec));
@@ -715,6 +782,11 @@ runThreadedPipeline(const Sequence &reference,
         report->pool.misses = pool.misses();
         report->reorder.retired = reorder.retired();
         report->reorder.max_pending = reorder.maxPending();
+        report->paired.pairs = pair_count;
+        report->paired.proper = pair_proper;
+        report->paired.rescues = pair_rescues;
+        report->paired.rescue_extensions = pair_rescue_ext;
+        report->paired.rescue_passes = pair_rescue_passes;
     }
 }
 

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "aligner/paired.h"
 #include "aligner/pipeline.h"
 #include "hw/accelerator.h"
 
@@ -36,6 +37,25 @@ struct ThreadedConfig
     int queue_shards = 0;
     PipelineConfig pipeline;
     AcceleratorOrganization organization;
+
+    /**
+     * Paired-end mode: the read stream supplies whole pairs as two
+     * consecutive reads (R1 at even index, R2 at odd; both carrying the
+     * canonical pair QNAME), the batch size is rounded up to even so
+     * both mates always land in the same SeededBatch slab, and the
+     * consumers finalize each pair (rescue, proper verdict, FLAG/
+     * RNEXT/PNEXT/TLEN) through the shared finalizePair() path before
+     * the records enter the reorder window — which therefore emits the
+     * two SAM records adjacently in input order. The total read count
+     * must be even (whole pairs only).
+     */
+    bool paired = false;
+    /** Frozen insert-size model pair finalization tests against (the
+     *  CLI freezes it from the bootstrap chunk before starting the
+     *  pipeline, so every consumer sees one identical model). */
+    InsertModel insert;
+    /** Attempt SeedEx-checked mate rescue for half-mapped pairs. */
+    bool mate_rescue = true;
 
     /**
      * Fold the environment knobs into this config (README "Threading
@@ -108,6 +128,16 @@ struct ThreadedReport
         uint64_t retired = 0;
         int64_t max_pending = 0;
     } reorder;
+
+    /** Pair accounting (paired mode only; zeros otherwise). */
+    struct Paired
+    {
+        uint64_t pairs = 0;
+        uint64_t proper = 0;
+        uint64_t rescues = 0;
+        uint64_t rescue_extensions = 0;
+        uint64_t rescue_passes = 0;
+    } paired;
 };
 
 /** Receives finished records in strictly increasing read_idx order. */

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,10 +43,16 @@ const char kUsage[] =
     "commands:\n"
     "  index <ref.fa> -o <ref.sdx>          build a checksummed index\n"
     "  align <ref.sdx|ref.fa> <reads.fq>    align reads, SAM on stdout\n"
+    "  align <ref.sdx|ref.fa> -1 <r1.fq> -2 <r2.fq>   paired-end mode\n"
     "  simulate -o <prefix>                 write a synthetic ref + reads\n"
     "\n"
     "align options (env-knob equivalents in parentheses):\n"
     "  -o FILE             SAM output path (default: stdout)\n"
+    "  -1 FILE / -2 FILE   paired-end mate files (zipped record by record)\n"
+    "  --interleaved       treat <reads.fq> as interleaved pairs\n"
+    "  --insert-mean=F / --insert-sd=F  pin the insert-size model instead\n"
+    "                      of bootstrapping it from the first pairs\n"
+    "  --no-rescue         disable SeedEx-checked mate rescue\n"
     "  --engine=NAME       fullband | banded | seedex   [seedex]\n"
     "  --band=N            band width for banded/seedex engines "
     "(SEEDEX_BAND)\n"
@@ -70,9 +77,11 @@ const char kUsage[] =
     "\n"
     "simulate options:\n"
     "  --length=N          reference length in bases        [1048576]\n"
-    "  --reads=N           number of reads                  [10000]\n"
+    "  --reads=N           number of reads (pairs with --paired) [10000]\n"
     "  --read-length=N     read length in bases             [101]\n"
     "  --seed=N            random seed                      [20200613]\n"
+    "  --paired            write FR mate files <prefix>_1.fq/_2.fq\n"
+    "  --insert-mean=F / --insert-sd=F  fragment model      [400 / 50]\n"
     "\n"
     "index options:\n"
     "  --kmer=K            seed k-mer table size baked at load time\n";
@@ -118,19 +127,40 @@ struct Args
                              it->second + "'");
         return n;
     }
+
+    double
+    getDouble(const std::string &name, double fallback) const
+    {
+        auto it = flags.find(name);
+        if (it == flags.end())
+            return fallback;
+        char *end = nullptr;
+        const double x = std::strtod(it->second.c_str(), &end);
+        if (end == it->second.c_str() || *end != '\0')
+            throw UsageError(name + " expects a number, got '" +
+                             it->second + "'");
+        return x;
+    }
 };
 
 Args
 parseArgs(int argc, char **argv, int first,
-          const std::vector<std::string> &known)
+          const std::vector<std::string> &known,
+          const std::vector<std::string> &value_shorts = {"-o"})
 {
     Args args;
+    const auto is_value_short = [&](const std::string &arg) {
+        for (const std::string &s : value_shorts)
+            if (s == arg)
+                return true;
+        return false;
+    };
     for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "-o") {
+        if (is_value_short(arg)) {
             if (i + 1 >= argc)
-                throw UsageError("-o expects a file path");
-            args.flags["-o"] = argv[++i];
+                throw UsageError(arg + " expects a file path");
+            args.flags[arg] = argv[++i];
         } else if (arg.rfind("--", 0) == 0) {
             const size_t eq = arg.find('=');
             const std::string name = arg.substr(0, eq);
@@ -284,14 +314,48 @@ cmdAlign(int argc, char **argv)
          "--threads", "--seeding-threads", "--fpga-threads", "--batch",
          "--queue-cap", "--queue-shards", "--kernel", "--fm-layout",
          "--kmer", "--metrics-out", "--trace-out", "--ledger-out",
-         "--ledger-sample"});
-    if (args.positional.size() != 2)
+         "--ledger-sample", "--interleaved", "--insert-mean",
+         "--insert-sd", "--no-rescue"},
+        {"-o", "-1", "-2"});
+
+    // Paired-end input shape: -1/-2 (two files, no reads operand) or
+    // --interleaved (one file of alternating mates).
+    const bool interleaved = args.has("--interleaved");
+    if (args.has("-1") != args.has("-2"))
+        throw UsageError("-1 and -2 must be given together");
+    if (args.has("-1") && interleaved)
+        throw UsageError("-1/-2 and --interleaved are mutually exclusive");
+    const bool paired = args.has("-1") || interleaved;
+    if (args.has("-1")) {
+        if (args.positional.size() != 1)
+            throw UsageError(
+                "align -1/-2 expects exactly <ref.sdx|ref.fa>");
+    } else if (args.positional.size() != 2) {
         throw UsageError("align expects <ref.sdx|ref.fa> <reads.fq>");
+    }
+    if (!paired &&
+        (args.has("--insert-mean") || args.has("--insert-sd") ||
+         args.has("--no-rescue")))
+        throw UsageError("--insert-mean/--insert-sd/--no-rescue require "
+                         "paired input (-1/-2 or --interleaved)");
     exportKnob(args, "--kernel", "SEEDEX_KERNEL");
     exportKnob(args, "--fm-layout", "SEEDEX_FM_LAYOUT");
     exportKnob(args, "--kmer", "SEEDEX_SEED_KMER");
 
-    const std::string &reads_path = args.positional[1];
+    const std::string reads_path =
+        args.has("-1") ? std::string() : args.positional[1];
+
+    // The insert-size model: explicit flags pin it; otherwise it is
+    // bootstrapped from the first pairs (the BWA-MEM recipe) and frozen
+    // before any consumer needs a proper-pair verdict.
+    const bool insert_override =
+        args.has("--insert-mean") || args.has("--insert-sd");
+    InsertModel insert_prior;
+    insert_prior.mean = args.getDouble("--insert-mean", insert_prior.mean);
+    insert_prior.sd = args.getDouble("--insert-sd", insert_prior.sd);
+    if (insert_prior.mean <= 0 || insert_prior.sd <= 0)
+        throw UsageError("--insert-mean/--insert-sd must be positive");
+    const bool mate_rescue = !args.has("--no-rescue");
 
     // Validate every flag before touching the filesystem, so a typo is
     // a usage error (exit 2) even when the inputs are also unreadable.
@@ -400,7 +464,106 @@ cmdAlign(int argc, char **argv)
     wall.start();
     uint64_t total_reads = 0;
     ThreadedReport treport;
-    if (!threaded) {
+    InsertModel insert_model = insert_prior;
+    uint64_t insert_observations = 0;
+    if (paired) {
+        auto pair_source = interleaved
+            ? std::make_unique<PairedReadSource>(reads_path)
+            : std::make_unique<PairedReadSource>(args.get("-1"),
+                                                 args.get("-2"));
+        Aligner aligner(ref.seq, pconfig, std::move(ref.index));
+
+        // Bootstrap chunk: the first pairs are aligned by the
+        // single-threaded Aligner in EVERY mode, so the frozen insert
+        // model — and the output bytes — cannot depend on --threads.
+        std::vector<PairedRecord> boot;
+        boot.reserve(InsertEstimator::kBootstrapPairs);
+        PairedRecord pr;
+        while (boot.size() < InsertEstimator::kBootstrapPairs &&
+               pair_source->next(pr))
+            boot.push_back(std::move(pr));
+        std::vector<std::pair<std::string, Sequence>> chunk;
+        chunk.reserve(boot.size() * 2);
+        for (const PairedRecord &p : boot) {
+            chunk.emplace_back(p.name, p.first);
+            chunk.emplace_back(p.name, p.second);
+        }
+        std::vector<SamRecord> recs = aligner.alignBatch(chunk);
+        if (!insert_override) {
+            InsertEstimator est(insert_prior);
+            for (size_t i = 0; i + 1 < recs.size(); i += 2)
+                est.observe(recs[i], recs[i + 1]);
+            insert_model = est.freeze();
+            insert_observations = est.observations();
+        }
+        const PairContext ctx{ref.seq,      pconfig.contigs,
+                              pconfig.extension, insert_model,
+                              mate_rescue};
+        const auto finalize_and_emit =
+            [&](std::vector<SamRecord> &rs,
+                const std::vector<std::pair<std::string, Sequence>> &rd) {
+                for (size_t i = 0; i + 1 < rs.size(); i += 2) {
+                    finalizePair(rs[i], rs[i + 1], rd[i].second,
+                                 rd[i + 1].second, aligner.engine(), ctx);
+                    out << rs[i].render() << '\n'
+                        << rs[i + 1].render() << '\n';
+                }
+                total_reads += rs.size();
+            };
+        finalize_and_emit(recs, chunk);
+
+        if (!threaded) {
+            for (;;) {
+                chunk.clear();
+                while (chunk.size() < kAlignChunk &&
+                       pair_source->next(pr)) {
+                    chunk.emplace_back(pr.name, std::move(pr.first));
+                    chunk.emplace_back(std::move(pr.name),
+                                       std::move(pr.second));
+                }
+                if (chunk.empty())
+                    break;
+                recs = aligner.alignBatch(chunk);
+                finalize_and_emit(recs, chunk);
+            }
+        } else {
+            tconfig.paired = true;
+            tconfig.insert = insert_model;
+            tconfig.mate_rescue = mate_rescue;
+            // Whole-pair pull: two consecutive slots per pair, so mates
+            // share a slab (batch sizes are even in paired mode). A
+            // parse error ends the stream and is rethrown after join.
+            std::exception_ptr read_error;
+            ReadSource source =
+                [&](std::vector<std::pair<std::string, Sequence>> &pulled,
+                    size_t max) -> size_t {
+                if (read_error)
+                    return 0;
+                size_t n = 0;
+                try {
+                    while (n + 1 < max && pair_source->next(pr)) {
+                        pulled[n].first = pr.name;
+                        pulled[n].second = std::move(pr.first);
+                        pulled[n + 1].first = std::move(pr.name);
+                        pulled[n + 1].second = std::move(pr.second);
+                        n += 2;
+                    }
+                } catch (...) {
+                    read_error = std::current_exception();
+                }
+                return n;
+            };
+            alignThreadedSource(
+                ref.seq, source, tconfig,
+                [&](size_t, SamRecord &&sam) {
+                    out << sam.render() << '\n';
+                },
+                &treport, &aligner.index());
+            total_reads += treport.reads;
+            if (read_error)
+                std::rethrow_exception(read_error);
+        }
+    } else if (!threaded) {
         Aligner aligner(ref.seq, pconfig, std::move(ref.index));
         FastqReader reader(reads_path);
         FastqRecord rec;
@@ -465,6 +628,22 @@ cmdAlign(int argc, char **argv)
                              tconfig.fpga_threads)
                        .c_str()
                  : "single-threaded");
+    if (paired) {
+        const PairedCounters pc = pairedCounters();
+        std::cerr << strprintf(
+            "seedex align: %llu pairs, %llu proper, %llu rescued "
+            "(insert %.1f +/- %.1f, %s)\n",
+            static_cast<unsigned long long>(pc.pairs),
+            static_cast<unsigned long long>(pc.proper),
+            static_cast<unsigned long long>(pc.rescues),
+            insert_model.mean, insert_model.sd,
+            insert_override
+                ? "pinned"
+                : strprintf("estimated from %llu observation(s)",
+                            static_cast<unsigned long long>(
+                                insert_observations))
+                      .c_str());
+    }
 
     if (!trace_out.empty()) {
         obs::TraceSession::global().disable();
@@ -506,6 +685,21 @@ cmdAlign(int argc, char **argv)
                 w.kv("batch_size", treport.batch_size);
             });
         }
+        if (paired) {
+            report.section("paired", [&](obs::JsonWriter &w) {
+                const PairedCounters pc = pairedCounters();
+                w.kv("pairs", pc.pairs);
+                w.kv("proper", pc.proper);
+                w.kv("rescues", pc.rescues);
+                w.kv("rescue_attempts", pc.rescue_attempts);
+                w.kv("rescue_extensions", pc.rescue_extensions);
+                w.kv("rescue_passes", pc.rescue_passes);
+                w.kv("insert_mean", insert_model.mean);
+                w.kv("insert_sd", insert_model.sd);
+                w.kv("insert_estimated", !insert_override);
+                w.kv("insert_observations", insert_observations);
+            });
+        }
         report.addMetrics(obs::MetricsRegistry::global().snapshot());
         if (!report.write(metrics_out))
             std::cerr << "seedex align: FAILED to write metrics to "
@@ -520,12 +714,17 @@ int
 cmdSimulate(int argc, char **argv)
 {
     const Args args = parseArgs(
-        argc, argv, 2, {"--length", "--reads", "--read-length", "--seed"});
+        argc, argv, 2,
+        {"--length", "--reads", "--read-length", "--seed", "--paired",
+         "--insert-mean", "--insert-sd"});
     if (!args.positional.empty())
         throw UsageError("simulate takes only options");
     if (!args.has("-o"))
         throw UsageError("simulate requires -o <prefix>");
     const std::string prefix = args.get("-o");
+    const bool paired = args.has("--paired");
+    if (!paired && (args.has("--insert-mean") || args.has("--insert-sd")))
+        throw UsageError("--insert-mean/--insert-sd require --paired");
 
     Rng rng(static_cast<uint64_t>(args.getLong("--seed", 20200613)));
     ReferenceParams ref_params;
@@ -537,22 +736,55 @@ cmdSimulate(int argc, char **argv)
     sim_params.read_length = static_cast<size_t>(
         args.getLong("--read-length",
                      static_cast<long>(sim_params.read_length)));
+    sim_params.insert_mean =
+        args.getDouble("--insert-mean", sim_params.insert_mean);
+    sim_params.insert_sd =
+        args.getDouble("--insert-sd", sim_params.insert_sd);
+    if (sim_params.insert_mean <= 0 || sim_params.insert_sd <= 0)
+        throw UsageError("--insert-mean/--insert-sd must be positive");
     ReadSimulator simulator(reference, sim_params);
     const size_t n_reads =
         static_cast<size_t>(args.getLong("--reads", 10000));
 
     writeFastaFile(prefix + ".fa", {{"sim", reference}});
-    std::ofstream fq(prefix + ".fq", std::ios::binary | std::ios::trunc);
-    if (!fq)
-        throw std::runtime_error(prefix + ".fq: cannot open for writing");
     std::string qual;
-    for (size_t i = 0; i < n_reads; ++i) {
-        const SimulatedRead read = simulator.simulate(rng, i);
+    const auto open_fq = [&](const std::string &path) {
+        std::ofstream fq(path, std::ios::binary | std::ios::trunc);
+        if (!fq)
+            throw std::runtime_error(path + ": cannot open for writing");
+        return fq;
+    };
+    const auto emit = [&](std::ofstream &fq, const SimulatedRead &read) {
         qual.assign(read.seq.size(), 'I');
         fq << '@' << read.name << '\n'
            << read.seq.toString() << '\n'
            << "+\n"
            << qual << '\n';
+    };
+    if (paired) {
+        // --reads counts PAIRS here: <prefix>_1.fq/_2.fq carry mate i of
+        // every fragment, record-aligned for `seedex align -1/-2`.
+        std::ofstream fq1 = open_fq(prefix + "_1.fq");
+        std::ofstream fq2 = open_fq(prefix + "_2.fq");
+        for (size_t i = 0; i < n_reads; ++i) {
+            const SimulatedPair pair = simulator.simulatePair(rng, i);
+            emit(fq1, pair.first);
+            emit(fq2, pair.second);
+        }
+        if (!fq1.flush())
+            throw std::runtime_error(prefix + "_1.fq: write failed");
+        if (!fq2.flush())
+            throw std::runtime_error(prefix + "_2.fq: write failed");
+        std::cerr << strprintf(
+            "seedex simulate: %zu bp reference, %zu pairs -> "
+            "%s.fa + %s_{1,2}.fq\n",
+            reference.size(), n_reads, prefix.c_str(), prefix.c_str());
+        return 0;
+    }
+    std::ofstream fq = open_fq(prefix + ".fq");
+    for (size_t i = 0; i < n_reads; ++i) {
+        const SimulatedRead read = simulator.simulate(rng, i);
+        emit(fq, read);
     }
     if (!fq.flush())
         throw std::runtime_error(prefix + ".fq: write failed");

@@ -213,4 +213,113 @@ FastqReader::next(FastqRecord &out)
     return true;
 }
 
+// ---- PairedReadSource ---------------------------------------------------
+
+PairedReadSource::PairedReadSource(const std::string &r1_path,
+                                   const std::string &r2_path)
+    : r1_(std::make_unique<FastqReader>(r1_path)),
+      r2_(std::make_unique<FastqReader>(r2_path)), origin1_(r1_path),
+      origin2_(r2_path)
+{}
+
+PairedReadSource::PairedReadSource(const std::string &path)
+    : r1_(std::make_unique<FastqReader>(path)), origin1_(path)
+{}
+
+PairedReadSource::PairedReadSource(std::istream &r1, std::istream &r2,
+                                   std::string origin1, std::string origin2)
+    : r1_(std::make_unique<FastqReader>(r1, origin1)),
+      r2_(std::make_unique<FastqReader>(r2, origin2)),
+      origin1_(std::move(origin1)), origin2_(std::move(origin2))
+{}
+
+PairedReadSource::PairedReadSource(std::istream &in, std::string origin)
+    : r1_(std::make_unique<FastqReader>(in, origin)),
+      origin1_(std::move(origin))
+{}
+
+std::string
+PairedReadSource::canonicalName(const std::string &header)
+{
+    const size_t ws = header.find_first_of(" \t");
+    std::string name =
+        ws == std::string::npos ? header : header.substr(0, ws);
+    if (name.size() > 2 && name[name.size() - 2] == '/' &&
+        (name.back() == '1' || name.back() == '2'))
+        name.resize(name.size() - 2);
+    return name;
+}
+
+bool
+PairedReadSource::nextZipped(PairedRecord &out)
+{
+    const bool have1 = r1_->next(rec1_);
+    const bool have2 = r2_->next(rec2_);
+    if (!have1 && !have2)
+        return false;
+    if (have1 != have2) {
+        // One stream ran dry: name the short one, the long one, and the
+        // pair ordinal where the zip broke.
+        const std::string &longer = have1 ? origin1_ : origin2_;
+        const std::string &shorter = have1 ? origin2_ : origin1_;
+        const FastqRecord &rec = have1 ? rec1_ : rec2_;
+        throw std::runtime_error(strprintf(
+            "%s: paired input truncated at pair %llu: %s has record "
+            "'%s' but %s ended after %llu record(s)",
+            shorter.c_str(),
+            static_cast<unsigned long long>(pairs_ + 1), longer.c_str(),
+            canonicalName(rec.name).c_str(), shorter.c_str(),
+            static_cast<unsigned long long>(have1 ? r2_->recordsRead()
+                                                  : r1_->recordsRead())));
+    }
+    out.name = canonicalName(rec1_.name);
+    if (out.name != canonicalName(rec2_.name))
+        throw std::runtime_error(strprintf(
+            "%s: mate-name mismatch at pair %llu: '%s' (%s record %llu) "
+            "vs '%s' (%s record %llu)",
+            origin1_.c_str(), static_cast<unsigned long long>(pairs_ + 1),
+            canonicalName(rec1_.name).c_str(), origin1_.c_str(),
+            static_cast<unsigned long long>(r1_->recordsRead()),
+            canonicalName(rec2_.name).c_str(), origin2_.c_str(),
+            static_cast<unsigned long long>(r2_->recordsRead())));
+    out.first = std::move(rec1_.seq);
+    out.second = std::move(rec2_.seq);
+    ++pairs_;
+    return true;
+}
+
+bool
+PairedReadSource::nextInterleaved(PairedRecord &out)
+{
+    if (!r1_->next(rec1_))
+        return false;
+    if (!r1_->next(rec2_))
+        throw std::runtime_error(strprintf(
+            "%s: interleaved input truncated at pair %llu: record %llu "
+            "('%s') has no mate (odd record count)",
+            origin1_.c_str(), static_cast<unsigned long long>(pairs_ + 1),
+            static_cast<unsigned long long>(r1_->recordsRead()),
+            canonicalName(rec1_.name).c_str()));
+    out.name = canonicalName(rec1_.name);
+    if (out.name != canonicalName(rec2_.name))
+        throw std::runtime_error(strprintf(
+            "%s: mate-name mismatch at pair %llu: '%s' (record %llu) vs "
+            "'%s' (record %llu)",
+            origin1_.c_str(), static_cast<unsigned long long>(pairs_ + 1),
+            canonicalName(rec1_.name).c_str(),
+            static_cast<unsigned long long>(r1_->recordsRead() - 1),
+            canonicalName(rec2_.name).c_str(),
+            static_cast<unsigned long long>(r1_->recordsRead())));
+    out.first = std::move(rec1_.seq);
+    out.second = std::move(rec2_.seq);
+    ++pairs_;
+    return true;
+}
+
+bool
+PairedReadSource::next(PairedRecord &out)
+{
+    return r2_ != nullptr ? nextZipped(out) : nextInterleaved(out);
+}
+
 } // namespace seedex

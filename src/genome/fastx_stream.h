@@ -140,6 +140,74 @@ class FastqReader
     uint64_t records_ = 0;
 };
 
+/** One read pair pulled from a PairedReadSource. */
+struct PairedRecord
+{
+    /** Canonical pair name: the first whitespace token of the FASTQ
+     *  header with any trailing `/1` or `/2` mate suffix stripped —
+     *  both mates must agree, and this is the QNAME both SAM records
+     *  carry (the SAM pairing convention). */
+    std::string name;
+    Sequence first;
+    Sequence second;
+};
+
+/**
+ * Streaming paired-read supplier: zips two FASTQ streams (R1 + R2) or
+ * deinterleaves a single stream whose consecutive records are mates.
+ * Built on FastqReader, so memory stays bounded at one record per
+ * stream and CRLF/blank-line handling is inherited. Every structural
+ * problem — mate-name disagreement, unequal R1/R2 record counts, a
+ * truncated second file, an odd interleaved record count — throws
+ * std::runtime_error carrying the origin (file path) and the 1-based
+ * pair/record ordinal, never desynchronizing silently.
+ */
+class PairedReadSource
+{
+  public:
+    /** Two-file mode: record i of `r1_path` pairs with record i of
+     *  `r2_path`. */
+    PairedReadSource(const std::string &r1_path,
+                     const std::string &r2_path);
+
+    /** Interleaved mode: records 2i and 2i+1 of `path` are mates. */
+    explicit PairedReadSource(const std::string &path);
+
+    /** Stream variants (caller keeps the streams alive). */
+    PairedReadSource(std::istream &r1, std::istream &r2,
+                     std::string origin1 = "<stream:r1>",
+                     std::string origin2 = "<stream:r2>");
+    PairedReadSource(std::istream &in, std::string origin);
+
+    /** Parse the next pair into `out` (storage reused). Returns false
+     *  at clean EOF; throws std::runtime_error on malformed or
+     *  mismatched input. */
+    bool next(PairedRecord &out);
+
+    /** Pairs successfully returned so far. */
+    uint64_t pairsRead() const { return pairs_; }
+
+    bool interleaved() const { return r2_ == nullptr; }
+
+    /** Canonical pair name of one FASTQ header: first whitespace token,
+     *  minus a trailing "/1" or "/2" mate suffix. */
+    static std::string canonicalName(const std::string &header);
+
+  private:
+    bool nextZipped(PairedRecord &out);
+    bool nextInterleaved(PairedRecord &out);
+
+    std::unique_ptr<std::ifstream> file1_;
+    std::unique_ptr<std::ifstream> file2_;
+    std::unique_ptr<FastqReader> r1_;
+    std::unique_ptr<FastqReader> r2_; ///< null in interleaved mode
+    std::string origin1_;
+    std::string origin2_;
+    FastqRecord rec1_;
+    FastqRecord rec2_;
+    uint64_t pairs_ = 0;
+};
+
 } // namespace seedex
 
 #endif // SEEDEX_GENOME_FASTX_STREAM_H

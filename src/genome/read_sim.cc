@@ -118,17 +118,17 @@ ReadSimulator::simulatePair(Rng &rng, uint64_t id) const
     pair.fragment_start = start;
     pair.fragment_length = frag;
 
-    auto make_end = [&](size_t pos, bool reverse,
-                        const char *suffix) {
+    auto make_end = [&](size_t pos, bool reverse) {
         const ReadSimParams &p = params_;
         // Build directly at the pinned fragment coordinate: copy the
         // window then apply substitutions (pairs stay substitution-only;
         // indel stress comes from the single-end paths).
         Sequence seq = ref_.slice(pos, p.read_length);
         SimulatedRead read;
-        read.name = strprintf("simpair.%llu%s",
-                              static_cast<unsigned long long>(id),
-                              suffix);
+        // Both mates carry the same suffix-free QNAME (SAM pairing
+        // convention: mate identity lives in the FLAG, not the name).
+        read.name = strprintf("simpair.%llu",
+                              static_cast<unsigned long long>(id));
         read.true_pos = pos;
         read.reverse = reverse;
         for (size_t i = 0; i < seq.size(); ++i) {
@@ -143,10 +143,10 @@ ReadSimulator::simulatePair(Rng &rng, uint64_t id) const
         read.seq = reverse ? seq.reverseComplement() : seq;
         return read;
     };
-    pair.first = make_end(start, false, "/1");
+    pair.first = make_end(start, false);
     pair.second = make_end(start + static_cast<size_t>(frag) -
                                params_.read_length,
-                           true, "/2");
+                           true);
     return pair;
 }
 

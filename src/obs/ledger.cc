@@ -217,6 +217,11 @@ Ledger::toJsonl() const
         w.kv("global_reruns", static_cast<uint64_t>(r.global_reruns));
         w.kv("score", static_cast<int64_t>(r.score));
         w.kv("mapped", r.mapped);
+        w.kv("paired", r.paired);
+        w.kv("proper", r.proper);
+        w.kv("pair_rescued", r.pair_rescued);
+        w.kv("rescue_extensions",
+             static_cast<uint64_t>(r.rescue_extensions));
         w.kv("kernel", r.kernel);
         w.endObject();
         out += w.str();

@@ -90,6 +90,14 @@ struct ReadRecord
     /** Final alignment score (AS); 0 when unmapped. */
     int32_t score = 0;
     bool mapped = false;
+    /** Pair provenance (paired pipelines; single-end reads keep the
+     *  defaults). `rescue_extensions` counts the engine extensions the
+     *  pair spent rescuing this read's mate or itself — attributed to
+     *  the rescued mate's record. */
+    bool paired = false;
+    bool proper = false;
+    bool pair_rescued = false;
+    uint32_t rescue_extensions = 0;
     /** Dispatched kernel tier ("scalar"/"sse"/"avx2"); string literal. */
     const char *kernel = "";
 

@@ -12,7 +12,13 @@
 # bench and validates the seedex.band.* instruments, their
 # reconciliation with the filter verdict counters, the run report's
 # `band_policy` section, and the BENCH_band.json sweep (including the
-# bit-identity self-gate and the cells-saved headline).
+# bit-identity self-gate and the cells-saved headline); finally runs the
+# CLI paired-end path (simulate --paired with shredded rescue-bait
+# mates, threaded align -1/-2) and validates the `paired` report
+# section, the seedex.paired.* instruments, the extension reconciliation
+# identity filter.verdict.total == aligner.extensions +
+# threaded.extensions + paired.rescue_extensions, and the ledger's pair
+# fields.
 #
 # Usage: tools/check_metrics.sh [BUILD_DIR]     (default: build)
 set -euo pipefail
@@ -36,9 +42,12 @@ THREADS_SWEEP="$OUT_DIR/BENCH_threads.json"
 BAND_BENCH="$BUILD_DIR/bench/bench_band"
 BAND_METRICS="$OUT_DIR/band_metrics.json"
 BAND_SWEEP="$OUT_DIR/BENCH_band.json"
+SEEDEX_CLI="$BUILD_DIR/src/apps/seedex"
+PAIRED_METRICS="$OUT_DIR/paired_metrics.json"
+PAIRED_LEDGER="$OUT_DIR/paired_ledger.jsonl"
 
 for bin in "$BENCH" "$KERNEL_BENCH" "$SEED_BENCH" "$THREADS_BENCH" \
-           "$BAND_BENCH"; do
+           "$BAND_BENCH" "$SEEDEX_CLI"; do
     if [[ ! -x "$bin" ]]; then
         echo "check_metrics: $bin not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
         exit 1
@@ -457,6 +466,107 @@ print(f"ok: band predicted={predicted} escalations={escalations} "
       f"{len(cells)} sweep cells, "
       f"cells ratio {sweep['cells_ratio_2pct']:.2f}x @2% / "
       f"{sweep['cells_ratio_low_error']:.2f}x @0.5%")
+EOF
+
+echo "== running $SEEDEX_CLI paired-end pipeline (4 threads)"
+"$SEEDEX_CLI" simulate -o "$OUT_DIR/psim" --length=262144 --reads=2000 \
+    --seed=77 --paired 2> /dev/null
+python3 - "$OUT_DIR/psim_2.fq" <<'EOF'
+# Shred every 10th R2 so the run exercises mate rescue (the shredded
+# mate fails to seed-map but still extends from the anchor's window).
+import sys
+path = sys.argv[1]
+with open(path) as f:
+    lines = f.read().splitlines()
+for rec in range(0, len(lines) // 4, 10):
+    seq = list(lines[rec * 4 + 1])
+    for i in range(5, len(seq), 12):
+        seq[i] = {"A": "C", "C": "G", "G": "T", "T": "A"}.get(seq[i], "A")
+    lines[rec * 4 + 1] = "".join(seq)
+with open(path, "w") as f:
+    f.write("\n".join(lines) + "\n")
+EOF
+"$SEEDEX_CLI" index "$OUT_DIR/psim.fa" -o "$OUT_DIR/psim.sdx" 2> /dev/null
+"$SEEDEX_CLI" align "$OUT_DIR/psim.sdx" \
+    -1 "$OUT_DIR/psim_1.fq" -2 "$OUT_DIR/psim_2.fq" \
+    --threads=4 -o "$OUT_DIR/paired.sam" \
+    "--metrics-out=$PAIRED_METRICS" "--ledger-out=$PAIRED_LEDGER" \
+    2> /dev/null
+
+[[ -s "$PAIRED_METRICS" ]] || { echo "FAIL: paired metrics missing/empty" >&2; exit 1; }
+[[ -s "$PAIRED_LEDGER" ]] || { echo "FAIL: paired ledger missing/empty" >&2; exit 1; }
+
+echo "== paired instrument checks (python json)"
+python3 - "$PAIRED_METRICS" "$PAIRED_LEDGER" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["schema"] == "seedex.run_report/v1", report["schema"]
+
+# --- The `paired` section: pair accounting + frozen insert model.
+paired = report["paired"]
+assert paired["pairs"] == 2000, paired["pairs"]
+assert 0 < paired["proper"] <= paired["pairs"]
+assert paired["rescues"] > 0, "shredded mates never rescued"
+assert paired["rescue_attempts"] >= paired["rescues"]
+assert paired["rescue_extensions"] >= paired["rescues"]
+assert paired["rescue_passes"] <= paired["rescue_extensions"]
+assert paired["insert_estimated"] is True
+assert paired["insert_observations"] > 0
+assert paired["insert_mean"] > 0 and paired["insert_sd"] > 0
+
+counters = report["metrics"]["counters"]
+for name in ("seedex.paired.pairs", "seedex.paired.proper",
+             "seedex.paired.rescues", "seedex.paired.rescue_attempts",
+             "seedex.paired.rescue_extensions",
+             "seedex.paired.rescue_passes"):
+    assert name in counters, f"missing counter {name}"
+assert counters["seedex.paired.pairs"] == paired["pairs"]
+assert counters["seedex.paired.proper"] == paired["proper"]
+assert counters["seedex.paired.rescues"] == paired["rescues"]
+
+# --- Every emitted record belongs to a pair.
+run = report["run"]
+assert run["reads"] == 2 * paired["pairs"], (run["reads"], paired)
+
+# --- Extension reconciliation: each verdict the filter issued came
+# from the single-threaded bootstrap chunk, a threaded consumer, or a
+# mate-rescue extension — no extension escapes the funnel.
+total = counters["filter.verdict.total"]
+funnel = (counters["aligner.extensions"] +
+          counters["threaded.extensions"] +
+          counters["seedex.paired.rescue_extensions"])
+assert total == funnel, (total, funnel)
+
+# --- Ledger: pair fields ride along on every read record; the
+# threaded (post-bootstrap) portion carries paired=true.
+with open(sys.argv[2]) as f:
+    records = [json.loads(line) for line in f if line.strip()]
+assert records, "ledger has no read records"
+for rec in records:
+    for field in ("paired", "proper", "pair_rescued",
+                  "rescue_extensions"):
+        assert field in rec, f"ledger record lacks {field}"
+n_paired = sum(1 for r in records if r["paired"])
+assert n_paired > 0, "no ledger record is marked paired"
+ledger_rescued = sum(1 for r in records if r["pair_rescued"])
+ledger_rescue_ext = sum(r["rescue_extensions"] for r in records)
+# The ledger only sees the threaded portion (bootstrap reads align
+# before the pair stage), so its rescue totals are bounded by the
+# process-wide counters.
+assert ledger_rescued <= counters["seedex.paired.rescues"]
+assert ledger_rescue_ext <= counters["seedex.paired.rescue_extensions"]
+
+print(f"ok: pairs={paired['pairs']} proper={paired['proper']} "
+      f"rescues={paired['rescues']} "
+      f"(insert {paired['insert_mean']:.1f} "
+      f"+/- {paired['insert_sd']:.1f} from "
+      f"{paired['insert_observations']} obs); "
+      f"verdicts {total} == aligner {counters['aligner.extensions']} "
+      f"+ threaded {counters['threaded.extensions']} "
+      f"+ rescue {counters['seedex.paired.rescue_extensions']}")
 EOF
 
 echo "check_metrics: PASS"
